@@ -1,0 +1,214 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) and, per table/figure, registers a Bechamel
+   micro-benchmark of the machinery behind it.
+
+   Scale can be overridden with AGP_BENCH_SCALE=small|medium|default
+   (default: Default — the EXPERIMENTS.md headline workloads, ~10
+   minutes end to end; the Fig. 10 sweep always runs at Medium to keep
+   its 24 accelerator runs affordable). *)
+
+open Bechamel
+open Toolkit
+module Experiments = Agp_exp.Experiments
+module Workloads = Agp_exp.Workloads
+
+let scale =
+  match Sys.getenv_opt "AGP_BENCH_SCALE" with
+  | Some s -> begin
+      match Workloads.scale_of_string s with
+      | Ok sc -> sc
+      | Error e ->
+          prerr_endline e;
+          exit 1
+    end
+  | None -> Workloads.Default
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* --- bechamel plumbing: one Test.make per experiment, timed against
+   the monotonic clock, reported as ns/run --- *)
+
+let bench_cases : (string * (unit -> unit)) list ref = ref []
+
+let register name fn = bench_cases := (name, fn) :: !bench_cases
+
+let run_microbenches () =
+  section "Bechamel micro-benchmarks (ns per run)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  List.iter
+    (fun (name, fn) ->
+      let test = Test.make ~name (Staged.stage fn) in
+      let raw = Benchmark.all cfg instances test in
+      let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+      let merged = Analyze.merge ols instances results in
+      let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+      Hashtbl.iter
+        (fun case ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-34s %12.0f ns/run\n%!" case est
+          | Some _ | None -> Printf.printf "  %-34s (no estimate)\n%!" case)
+        clock)
+    (List.rev !bench_cases)
+
+(* --- Table 1 --- *)
+
+let table1 () =
+  section "Table 1 — BFS: OpenCL HLS vs generated accelerators";
+  let t1 = Experiments.table1 ~scale () in
+  Experiments.print_table1 t1;
+  Printf.printf "(OpenCL model iterated %d host rounds)\n" t1.Experiments.opencl_rounds;
+  register "table1/opencl-model" (fun () ->
+      ignore (Agp_baseline.Opencl_model.run_bfs (Workloads.bfs_graph Workloads.Small ~seed:42) 0))
+
+(* --- Figure 9 --- *)
+
+let fig9 () =
+  section "Figure 9 — speedup over 1-core and 10-core software";
+  let rows = Experiments.fig9 ~scale () in
+  Experiments.print_fig9 rows;
+  let v1 = List.map (fun r -> r.Experiments.speedup_vs_1) rows in
+  let v10 = List.map (fun r -> r.Experiments.speedup_vs_10) rows in
+  Printf.printf "vs 1-core range: %.2fx .. %.2fx (paper: 2.3x .. 5.9x)\n"
+    (List.fold_left Float.min infinity v1)
+    (List.fold_left Float.max 0.0 v1);
+  Printf.printf "vs 10-core range: %.2fx .. %.2fx (paper: 0.5x .. 1.9x)\n"
+    (List.fold_left Float.min infinity v10)
+    (List.fold_left Float.max 0.0 v10);
+  register "fig9/accelerator-spec-bfs-small" (fun () ->
+      let app = Workloads.spec_bfs Workloads.Small ~seed:42 in
+      let run = app.Agp_apps.App_instance.fresh () in
+      ignore
+        (Agp_hw.Accelerator.run ~spec:app.Agp_apps.App_instance.spec
+           ~bindings:run.Agp_apps.App_instance.bindings ~state:run.Agp_apps.App_instance.state
+           ~initial:run.Agp_apps.App_instance.initial ()));
+  register "fig9/cpu-model-spec-bfs-small" (fun () ->
+      ignore (Agp_baseline.Cpu_model.run (Workloads.spec_bfs Workloads.Small ~seed:42)))
+
+(* --- Figure 10 --- *)
+
+let fig10 () =
+  section "Figure 10 — QPI bandwidth sweep (speedup over 1x / utilization)";
+  let rows = Experiments.fig10 () in
+  Experiments.print_fig10 rows;
+  register "fig10/memory-burst-64-lines" (fun () ->
+      let mem = Agp_hw.Memory.create Agp_hw.Config.default in
+      ignore
+        (Agp_hw.Memory.access_burst mem ~now:0
+           ~addrs:(List.init 64 (fun i -> (i * 4096, false)))
+           ~dependent:false))
+
+(* --- §6.2 resources --- *)
+
+let resources () =
+  section "Section 6.2 — FPGA resource breakdown (Stratix V 5SGXEA7)";
+  let rows = Experiments.resources () in
+  Experiments.print_resources rows;
+  let shares = List.map (fun r -> r.Experiments.rule_register_share) rows in
+  Printf.printf "rule-engine register share: %.1f%% .. %.1f%% (paper: 4.8%% .. 10%%)\n"
+    (100.0 *. List.fold_left Float.min infinity shares)
+    (100.0 *. List.fold_left Float.max 0.0 shares);
+  register "resources/heuristic-sizing" (fun () ->
+      ignore (Agp_hw.Resource.heuristic_pipelines Agp_apps.Bfs_app.spec_speculative ~max_per_set:8))
+
+(* --- Figure 2(b) --- *)
+
+let schedules () =
+  section "Figure 2(b) — schedule diagrams on the 6-vertex example";
+  print_string (Experiments.schedule_diagram ());
+  register "fig2/bdfg-compile-all" (fun () ->
+      List.iter
+        (fun sp -> ignore (Agp_dataflow.Bdfg.of_spec sp))
+        [
+          Agp_apps.Bfs_app.spec_speculative;
+          Agp_apps.Sssp_app.spec_speculative;
+          Agp_apps.Mst_app.spec_speculative;
+          Agp_apps.Dmr_app.spec_speculative;
+          Agp_apps.Lu_app.spec_coordinative;
+        ])
+
+(* --- substrate micro-benchmarks (ablation-adjacent) --- *)
+
+let substrates () =
+  register "substrate/delaunay-triangulate-200" (fun () ->
+      ignore (Agp_geometry.Delaunay.triangulate (Agp_graph.Generator.points ~seed:1 ~n:200 ~span:100.0)));
+  register "substrate/sparselu-factorize-6x6" (fun () ->
+      let m = Agp_sparse.Block_matrix.random_sparse ~seed:2 ~nb:6 ~bs:8 ~density:0.3 in
+      ignore (Agp_sparse.Sparse_lu.factorize m));
+  register "substrate/kruskal-2500" (fun () ->
+      ignore (Agp_graph.Mst.kruskal (Agp_graph.Generator.random ~seed:3 ~n:2500 ~m:7500)));
+  register "substrate/sequential-oracle-bfs" (fun () ->
+      let app = Workloads.spec_bfs Workloads.Small ~seed:4 in
+      let run = app.Agp_apps.App_instance.fresh () in
+      ignore
+        (Agp_core.Sequential.run ~initial:run.Agp_apps.App_instance.initial
+           app.Agp_apps.App_instance.spec run.Agp_apps.App_instance.bindings
+           run.Agp_apps.App_instance.state))
+
+(* --- work amplification (the flooding of §6.3, quantified) --- *)
+
+let amplification () =
+  section "Work amplification — activated vs. necessary tasks (flooding)";
+  Agp_exp.Amplification.print (Agp_exp.Amplification.table ~scale:Workloads.Small ());
+  register "amplification/spec-bfs" (fun () ->
+      ignore (Agp_exp.Amplification.measure (Workloads.spec_bfs Workloads.Small ~seed:42)))
+
+(* --- ablations --- *)
+
+let ablations () =
+  section "Ablation — rule-engine lanes (SPEC-BFS, medium road graph)";
+  let app = Workloads.spec_bfs Workloads.Medium ~seed:42 in
+  let t = Agp_util.Table.create [ "lanes"; "cycles"; "utilization" ] in
+  List.iter
+    (fun lanes ->
+      let run = app.Agp_apps.App_instance.fresh () in
+      let config = { Agp_hw.Config.default with Agp_hw.Config.rule_lanes = lanes } in
+      let r =
+        Agp_hw.Accelerator.run ~config ~spec:app.Agp_apps.App_instance.spec
+          ~bindings:run.Agp_apps.App_instance.bindings ~state:run.Agp_apps.App_instance.state
+          ~initial:run.Agp_apps.App_instance.initial ()
+      in
+      Agp_util.Table.add_row t
+        [
+          string_of_int lanes;
+          string_of_int r.Agp_hw.Accelerator.cycles;
+          Printf.sprintf "%.1f%%" (100.0 *. r.Agp_hw.Accelerator.utilization);
+        ])
+    [ 16; 64; 256 ];
+  Agp_util.Table.print t;
+  section "Ablation — pipeline replication (SPEC-BFS, medium road graph)";
+  let t = Agp_util.Table.create [ "pipelines/set"; "cycles" ] in
+  List.iter
+    (fun n ->
+      let run = app.Agp_apps.App_instance.fresh () in
+      let config =
+        Agp_hw.Config.with_pipelines Agp_hw.Config.default [ ("visit", n); ("update", n) ]
+      in
+      let r =
+        Agp_hw.Accelerator.run ~config ~auto_size:false ~spec:app.Agp_apps.App_instance.spec
+          ~bindings:run.Agp_apps.App_instance.bindings ~state:run.Agp_apps.App_instance.state
+          ~initial:run.Agp_apps.App_instance.initial ()
+      in
+      Agp_util.Table.add_row t [ string_of_int n; string_of_int r.Agp_hw.Accelerator.cycles ])
+    [ 1; 2; 4; 8 ];
+  Agp_util.Table.print t
+
+let () =
+  Printf.printf "aggrpipe benchmark harness — reproduction of ISCA'17 evaluation\n";
+  Printf.printf "workload scale: %s\n"
+    (match scale with
+    | Workloads.Small -> "small"
+    | Workloads.Medium -> "medium"
+    | Workloads.Default -> "default");
+  table1 ();
+  fig9 ();
+  fig10 ();
+  resources ();
+  schedules ();
+  amplification ();
+  ablations ();
+  substrates ();
+  run_microbenches ();
+  print_endline "\nbench: done"

@@ -1,0 +1,234 @@
+(* Command-line driver: regenerate any of the paper's experiments, dump
+   compiled dataflow graphs, or run a single application on a chosen
+   platform model. *)
+
+open Cmdliner
+module Experiments = Agp_exp.Experiments
+module Workloads = Agp_exp.Workloads
+
+let scale_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Workloads.scale_of_string s) in
+  let print fmt = function
+    | Workloads.Small -> Format.fprintf fmt "small"
+    | Workloads.Medium -> Format.fprintf fmt "medium"
+    | Workloads.Default -> Format.fprintf fmt "default"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Workloads.Default
+    & info [ "scale" ] ~docv:"SCALE" ~doc:"Workload scale: small or default.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
+
+let fig9_cmd =
+  let run scale seed =
+    Experiments.print_fig9 (Experiments.fig9 ~scale ~seed ())
+  in
+  Cmd.v (Cmd.info "fig9" ~doc:"Figure 9: accelerator speedup over 1-core and 10-core software.")
+    Term.(const run $ scale_arg $ seed_arg)
+
+let fig10_cmd =
+  let run scale seed =
+    ignore scale;
+    Experiments.print_fig10 (Experiments.fig10 ~seed ())
+  in
+  Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: QPI bandwidth sweep (speedup and pipeline utilization).")
+    Term.(const run $ scale_arg $ seed_arg)
+
+let table1_cmd =
+  let run scale seed = Experiments.print_table1 (Experiments.table1 ~scale ~seed ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Table 1: OpenCL-HLS BFS vs generated SPEC-BFS and COOR-BFS.")
+    Term.(const run $ scale_arg $ seed_arg)
+
+let resources_cmd =
+  let run () = Experiments.print_resources (Experiments.resources ()) in
+  Cmd.v (Cmd.info "resources" ~doc:"Section 6.2: FPGA resource breakdown per accelerator.")
+    Term.(const run $ const ())
+
+let schedule_cmd =
+  let run () = print_string (Experiments.schedule_diagram ()) in
+  Cmd.v (Cmd.info "schedule" ~doc:"Figure 2(b): barrier vs dataflow schedule diagrams.")
+    Term.(const run $ const ())
+
+let app_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"One of: spec-bfs, coor-bfs, spec-sssp, spec-mst, spec-dmr, coor-lu.")
+
+let find_app scale seed name =
+  match name with
+  | "spec-bfs" -> Ok (Workloads.spec_bfs scale ~seed)
+  | "coor-bfs" -> Ok (Workloads.coor_bfs scale ~seed)
+  | "spec-sssp" -> Ok (Workloads.spec_sssp scale ~seed)
+  | "spec-mst" -> Ok (Workloads.spec_mst scale ~seed)
+  | "spec-dmr" -> Ok (Workloads.spec_dmr scale ~seed)
+  | "coor-lu" -> Ok (Workloads.coor_lu scale ~seed)
+  | other -> Error (Printf.sprintf "unknown application %S" other)
+
+let dot_cmd =
+  let run scale seed name =
+    match find_app scale seed name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok app ->
+        let g = Agp_dataflow.Bdfg.of_spec app.Agp_apps.App_instance.spec in
+        print_string (Agp_dataflow.Bdfg.to_dot g)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Dump the compiled Boolean dataflow graph of an application (Graphviz).")
+    Term.(const run $ scale_arg $ seed_arg $ app_arg)
+
+let spec_cmd =
+  let run scale seed name =
+    match find_app scale seed name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok app -> Format.printf "%a@." Agp_core.Spec.pp app.Agp_apps.App_instance.spec
+  in
+  Cmd.v (Cmd.info "spec" ~doc:"Print an application's task/rule specification.")
+    Term.(const run $ scale_arg $ seed_arg $ app_arg)
+
+let amplify_cmd =
+  let run scale seed =
+    Agp_exp.Amplification.print (Agp_exp.Amplification.table ~scale ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "amplify"
+       ~doc:
+         "Work amplification of aggressive parallelization: activated vs. algorithmically \
+          necessary tasks per benchmark (the flooding of §6.3).")
+    Term.(const run $ scale_arg $ seed_arg)
+
+let explore_cmd =
+  let run scale seed name =
+    match find_app scale seed name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok app -> Agp_exp.Explore.print app (Agp_exp.Explore.sweep app)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Design-space exploration (the paper's future-work item): sweep rule lanes, pipeline \
+          replication and window depth, rank by simulated cycles.")
+    Term.(const run $ scale_arg $ seed_arg $ app_arg)
+
+let trace_cmd =
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Workers for the traced runtime.")
+  in
+  let ticks_arg =
+    Arg.(value & opt int 40 & info [ "ticks" ] ~doc:"Scheduler ticks to render.")
+  in
+  let run scale seed name workers ticks =
+    match find_app scale seed name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok app ->
+        let r = app.Agp_apps.App_instance.fresh () in
+        let t =
+          Agp_core.Trace.run ~initial:r.Agp_apps.App_instance.initial ~workers
+            app.Agp_apps.App_instance.spec r.Agp_apps.App_instance.bindings
+            r.Agp_apps.App_instance.state
+        in
+        Printf.printf "timeline (first %d ticks; cells are task indices, ~ = rendezvous stall, * \
+                       = squash):\n%s\n"
+          ticks
+          (Agp_core.Trace.render_timeline ~max_ticks:ticks t);
+        List.iter
+          (fun (set, committed, aborted, retried, blocks) ->
+            Printf.printf "%-10s committed %-6d aborted %-6d retried %-6d rendezvous stalls %d\n"
+              set committed aborted retried blocks)
+          (Agp_core.Trace.summarize t)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Traced software-runtime execution (the debugging flow of §4.4): worker timeline and \
+             per-set squash statistics.")
+    Term.(const run $ scale_arg $ seed_arg $ app_arg $ workers_arg $ ticks_arg)
+
+let run_cmd =
+  let workers_arg =
+    Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Workers for the software runtime.")
+  in
+  let platform_arg =
+    Arg.(
+      value
+      & opt string "fpga"
+      & info [ "platform" ] ~docv:"P" ~doc:"fpga | runtime | sequential.")
+  in
+  let bw_arg =
+    Arg.(value & opt float 1.0 & info [ "bandwidth" ] ~doc:"QPI bandwidth multiplier (fpga).")
+  in
+  let run scale seed name platform workers bw =
+    match find_app scale seed name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok app -> begin
+        let open Agp_apps.App_instance in
+        let describe check =
+          match check () with
+          | Ok () -> print_endline "result: VALID (matches substrate reference)"
+          | Error e ->
+              Printf.printf "result: INVALID (%s)\n" e;
+              exit 1
+        in
+        match platform with
+        | "sequential" ->
+            let report, r = run_sequential app in
+            Printf.printf "%s on sequential oracle: %d tasks\n" app.app_name
+              report.Agp_core.Sequential.tasks_run;
+            describe r.check
+        | "runtime" ->
+            let report, r = run_runtime ~workers app in
+            Printf.printf "%s on software runtime (%d workers): %d tasks, %d steps, peak %d running\n"
+              app.app_name workers report.Agp_core.Runtime.tasks_run
+              report.Agp_core.Runtime.steps report.Agp_core.Runtime.max_concurrency;
+            describe r.check
+        | "fpga" ->
+            let config = Agp_hw.Config.scale_bandwidth Agp_hw.Config.default bw in
+            let r = app.fresh () in
+            let report =
+              Agp_hw.Accelerator.run ~config ~spec:app.spec ~bindings:r.bindings ~state:r.state
+                ~initial:r.initial ()
+            in
+            Printf.printf
+              "%s on FPGA model: %d cycles (%.3f ms), utilization %.1f%%, cache hit %.1f%%\n"
+              app.app_name report.Agp_hw.Accelerator.cycles
+              (report.Agp_hw.Accelerator.seconds *. 1e3)
+              (100.0 *. report.Agp_hw.Accelerator.utilization)
+              (100.0 *. report.Agp_hw.Accelerator.mem_hit_rate);
+            describe r.check
+        | other ->
+            Printf.eprintf "unknown platform %S\n" other;
+            exit 1
+      end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one application on a platform model and validate the result.")
+    Term.(const run $ scale_arg $ seed_arg $ app_arg $ platform_arg $ workers_arg $ bw_arg)
+
+let () =
+  let doc = "Aggressive pipelining of irregular applications — reproduction toolkit" in
+  let main = Cmd.group (Cmd.info "agp" ~doc)
+      [
+        fig9_cmd;
+        fig10_cmd;
+        table1_cmd;
+        resources_cmd;
+        schedule_cmd;
+        dot_cmd;
+        spec_cmd;
+        run_cmd;
+        explore_cmd;
+        trace_cmd;
+        amplify_cmd;
+      ]
+  in
+  exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Agp_apps Agp_baseline Agp_core Agp_graph Agp_hw Agp_util List Printf

@@ -1,0 +1,1 @@
+examples/mesh_refinement.ml: Agp_apps Agp_core Agp_geometry Agp_graph Agp_hw Array List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agp_core Agp_dataflow Agp_hw Array Engine Format List Printf Runtime Sequential Spec State String Value

@@ -1,0 +1,1 @@
+examples/schedule_diagram.ml: Agp_exp

@@ -1,0 +1,1 @@
+examples/sparse_lu_demo.ml: Agp_apps Agp_core Agp_hw Agp_sparse List Printf

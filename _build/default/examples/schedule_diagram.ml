@@ -1,0 +1,5 @@
+(* Figure 2(b): why rule-scheduled dataflow pipelines beat
+   barrier-synchronized kernels on the paper's 6-vertex example graph —
+   printed as ASCII timelines. *)
+
+let () = print_string (Agp_exp.Experiments.schedule_diagram ())

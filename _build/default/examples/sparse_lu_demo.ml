@@ -1,0 +1,49 @@
+(* Coordinative sparse LU factorization: the block-task DAG, the
+   countdown rules that schedule it at runtime, and the accelerator
+   executing block tasks out of order the moment their dependences
+   resolve — no barriers, no host round trips. *)
+
+module Block_matrix = Agp_sparse.Block_matrix
+module Sparse_lu = Agp_sparse.Sparse_lu
+module App_instance = Agp_apps.App_instance
+
+let () =
+  let w = Agp_apps.Lu_app.sized_workload ~seed:5 ~nb:8 ~bs:16 ~density:0.3 in
+  let m = w.Agp_apps.Lu_app.matrix in
+  Printf.printf "blocked sparse matrix: %dx%d blocks of %dx%d, %d blocks present\n"
+    m.Block_matrix.nb m.Block_matrix.nb m.Block_matrix.bs m.Block_matrix.bs
+    (Block_matrix.num_present m);
+  let tasks = Sparse_lu.tasks m in
+  let count p = List.length (List.filter p tasks) in
+  Printf.printf "task DAG: %d tasks (%d lu0, %d fwd, %d bdiv, %d bmod)\n" (List.length tasks)
+    (count (function Sparse_lu.Lu0 _ -> true | _ -> false))
+    (count (function Sparse_lu.Fwd _ -> true | _ -> false))
+    (count (function Sparse_lu.Bdiv _ -> true | _ -> false))
+    (count (function Sparse_lu.Bmod _ -> true | _ -> false));
+  let deps = Sparse_lu.dependencies m in
+  let edges = List.fold_left (fun acc (_, ds) -> acc + List.length ds) 0 deps in
+  Printf.printf "dependence edges enforced by countdown rules: %d\n" edges;
+
+  (* sequential reference *)
+  let f = Block_matrix.copy m in
+  ignore (Sparse_lu.factorize f);
+  Printf.printf "sequential factorization residual: %.2e\n"
+    (Sparse_lu.residual ~original:m ~factored:f);
+
+  (* accelerator: countdown rules release block tasks out of order *)
+  let app = Agp_apps.Lu_app.coordinative w in
+  let run = app.App_instance.fresh () in
+  let hw =
+    Agp_hw.Accelerator.run ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
+      ~state:run.App_instance.state ~initial:run.App_instance.initial ()
+  in
+  (match run.App_instance.check () with
+  | Ok () -> print_endline "COOR-LU accelerator: factorization residual within tolerance"
+  | Error e -> failwith e);
+  let s = hw.Agp_hw.Accelerator.engine_stats in
+  Printf.printf
+    "accelerator: %d cycles (%.3f ms); %d countdown releases fired out of order, %d tasks \
+     released by the minimum-task exit path, 0 squashes (coordination admits no conflicts)\n"
+    hw.Agp_hw.Accelerator.cycles
+    (hw.Agp_hw.Accelerator.seconds *. 1e3)
+    s.Agp_core.Engine.clause_resolutions s.Agp_core.Engine.otherwise_fired

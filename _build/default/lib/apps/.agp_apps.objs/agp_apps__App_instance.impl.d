@@ -1,0 +1,1 @@
+lib/apps/app_instance.ml: Agp_core Result

@@ -1,0 +1,1 @@
+lib/apps/bfs_app.ml: Agp_core Agp_graph App_instance Array Spec State Value

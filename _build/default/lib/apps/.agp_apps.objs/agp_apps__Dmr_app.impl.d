@@ -1,0 +1,1 @@
+lib/apps/dmr_app.ml: Agp_core Agp_geometry Agp_graph App_instance Array Hashtbl Index List Option Printf Spec State Value

@@ -1,0 +1,1 @@
+lib/apps/dmr_app.mli: Agp_core App_instance

@@ -1,0 +1,1 @@
+lib/apps/lu_app.ml: Agp_core Agp_sparse App_instance Array List Printf Spec State Value

@@ -1,0 +1,1 @@
+lib/apps/lu_app.mli: Agp_core Agp_sparse App_instance

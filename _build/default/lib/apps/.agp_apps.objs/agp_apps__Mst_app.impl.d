@@ -1,0 +1,1 @@
+lib/apps/mst_app.ml: Agp_core Agp_graph Agp_util App_instance Array List Spec State Value

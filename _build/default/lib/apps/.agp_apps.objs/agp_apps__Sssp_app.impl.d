@@ -1,0 +1,1 @@
+lib/apps/sssp_app.ml: Agp_core Agp_graph App_instance Array List Spec State Value

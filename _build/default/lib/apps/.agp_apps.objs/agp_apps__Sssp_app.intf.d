@@ -1,0 +1,1 @@
+lib/apps/sssp_app.mli: Agp_core Agp_graph App_instance

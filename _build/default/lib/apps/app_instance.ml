@@ -1,0 +1,36 @@
+type run = {
+  state : Agp_core.State.t;
+  bindings : Agp_core.Spec.bindings;
+  initial : (string * Agp_core.Value.t list) list;
+  check : unit -> (unit, string) result;
+}
+
+type t = {
+  app_name : string;
+  spec : Agp_core.Spec.t;
+  fresh : unit -> run;
+  kernel_flops : (string * int) list;
+  fpga_ilp : int;
+  sw_task_overhead : int;
+  cpu_flops_per_cycle : float;
+  fpga_mlp : int;
+}
+
+let run_sequential t =
+  let r = t.fresh () in
+  let report = Agp_core.Sequential.run ~initial:r.initial t.spec r.bindings r.state in
+  (report, r)
+
+let run_runtime ?workers t =
+  let r = t.fresh () in
+  let report = Agp_core.Runtime.run ~initial:r.initial ?workers t.spec r.bindings r.state in
+  (report, r)
+
+let check_both ?workers t =
+  let label mode = Result.map_error (fun e -> mode ^ ": " ^ e) in
+  let _, seq = run_sequential t in
+  match label "sequential" (seq.check ()) with
+  | Error _ as e -> e
+  | Ok () ->
+      let _, par = run_runtime ?workers t in
+      label "runtime" (par.check ())

@@ -1,0 +1,50 @@
+(** Uniform packaging of a benchmark application: its specification,
+    plus a factory producing fresh runnable instances (program state,
+    execution-time bindings, initial host-injected tasks, and a
+    correctness check against the substrate reference). *)
+
+type run = {
+  state : Agp_core.State.t;
+  bindings : Agp_core.Spec.bindings;
+  initial : (string * Agp_core.Value.t list) list;
+  check : unit -> (unit, string) result;
+      (** validate the final state (and any side structures captured by
+          the bindings) against the substrate's reference answer *)
+}
+
+type t = {
+  app_name : string;  (** e.g. ["SPEC-BFS"] *)
+  spec : Agp_core.Spec.t;
+  fresh : unit -> run;
+      (** a new, independent instance of the same workload (bindings and
+          side structures are not shared across runs) *)
+  kernel_flops : (string * int) list;
+      (** arithmetic work per [Prim] invocation, used by both platform
+          models: the FPGA charges [flops / fpga_ilp] pipeline cycles,
+          the CPU charges [flops / 4] core cycles (SIMD+OoO) *)
+  fpga_ilp : int;
+      (** spatial parallelism of the synthesized kernel datapath: 8 for
+          irregular pointer kernels, ~48 for systolic dense blocks *)
+  sw_task_overhead : int;
+      (** per-task scheduling/bookkeeping cycles of the referenced
+          software system (lean PBFS-style worklists ~30-60; heavyweight
+          speculation ~300-400) — the 10-core model scales it by 1.7 for
+          contention *)
+  cpu_flops_per_cycle : float;
+      (** kernel arithmetic throughput of the referenced software
+          per core: 4.0 for SIMD-friendly code, ~1.5 for the scalar C
+          of BOTS sparselu *)
+  fpga_mlp : int;
+      (** outstanding memory requests of a kernel's access burst: 4 for
+          pointer-chasing kernels, ~32 for streaming block fetches *)
+}
+
+val run_sequential : t -> Agp_core.Sequential.report * run
+(** Convenience: fresh instance, sequential execution, no check. *)
+
+val run_runtime : ?workers:int -> t -> Agp_core.Runtime.report * run
+(** Convenience: fresh instance, aggressive runtime execution. *)
+
+val check_both : ?workers:int -> t -> (unit, string) result
+(** Run sequentially and aggressively on fresh instances and apply both
+    checks; errors are labelled with the failing mode. *)

@@ -1,0 +1,1 @@
+lib/baseline/cpu_model.ml: Agp_apps Agp_core Array Float List

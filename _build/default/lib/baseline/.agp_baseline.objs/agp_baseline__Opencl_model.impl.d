@@ -1,0 +1,1 @@
+lib/baseline/opencl_model.ml: Agp_graph Array List

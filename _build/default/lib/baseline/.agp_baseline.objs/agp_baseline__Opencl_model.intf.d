@@ -1,0 +1,1 @@
+lib/baseline/opencl_model.mli: Agp_graph

@@ -1,0 +1,56 @@
+module Csr = Agp_graph.Csr
+module Bfs = Agp_graph.Bfs
+
+type params = {
+  launch_overhead_s : float;
+  barrier_overhead_s : float;
+  bytes_per_vertex_scan : int;
+  link_gbps : float;
+  edge_bytes : int;
+}
+
+let default_params =
+  {
+    launch_overhead_s = 300.0e-6;
+    barrier_overhead_s = 50.0e-6;
+    bytes_per_vertex_scan = 16;
+    link_gbps = 25.0;
+    edge_bytes = 8;
+  }
+
+type report = {
+  seconds : float;
+  rounds : int;
+  kernel_launches : int;
+  bytes_moved : int;
+}
+
+let run_bfs ?(params = default_params) (g : Csr.t) root =
+  let p = params in
+  let levels = Bfs.levels g root in
+  let hist = Bfs.level_histogram levels in
+  let depth = List.fold_left (fun acc (l, _) -> max acc l) 0 hist in
+  (* per level: kernel 1 expands the frontier (full vertex scan + edge
+     traffic of the frontier), kernel 2 applies updates (full vertex
+     scan); the host then reads the continuation flag. *)
+  let rounds = depth + 1 in
+  let bytes = ref 0 in
+  let seconds = ref 0.0 in
+  let frontier_edges l =
+    (* edges leaving vertices at level l *)
+    let total = ref 0 in
+    Array.iteri (fun v lv -> if lv = l then total := !total + Csr.degree g v) levels;
+    !total
+  in
+  for l = 0 to rounds - 1 do
+    let scan = 2 * g.Csr.n * p.bytes_per_vertex_scan in
+    let edges = frontier_edges l * p.edge_bytes in
+    let round_bytes = scan + edges in
+    bytes := !bytes + round_bytes;
+    seconds :=
+      !seconds
+      +. (2.0 *. p.launch_overhead_s)
+      +. (2.0 *. p.barrier_overhead_s)
+      +. (float_of_int round_bytes /. (p.link_gbps *. 1.0e9))
+  done;
+  { seconds = !seconds; rounds; kernel_launches = 2 * rounds; bytes_moved = !bytes }

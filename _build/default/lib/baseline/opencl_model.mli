@@ -1,0 +1,30 @@
+(** Timing model of the Altera-OpenCL synthesized BFS (§2.2, Fig. 1c,
+    Table 1): a host CPU iterates two kernels with barriers between
+    them until no vertex changes.
+
+    The model charges exactly the terms that make AOCL-BFS two orders
+    of magnitude slower than the rule-scheduled pipelines on a
+    high-diameter graph: one pair of kernel launches per BFS level,
+    barrier drain/refill of the pipelines, and a full scan of the
+    vertex set per kernel (the OpenDwarfs BFS has no frontier — every
+    thread re-checks its vertex), all streamed over the board link. *)
+
+type params = {
+  launch_overhead_s : float;  (** host-to-FPGA kernel launch cost (300 µs) *)
+  barrier_overhead_s : float;  (** pipeline drain + flag readback (50 µs) *)
+  bytes_per_vertex_scan : int;  (** per-kernel per-vertex traffic (16 B) *)
+  link_gbps : float;  (** board memory bandwidth seen by kernels (25) *)
+  edge_bytes : int;  (** per-edge traffic when a frontier vertex expands (8) *)
+}
+
+val default_params : params
+
+type report = {
+  seconds : float;
+  rounds : int;  (** host iterations = BFS levels + 1 *)
+  kernel_launches : int;
+  bytes_moved : int;
+}
+
+val run_bfs : ?params:params -> Agp_graph.Csr.t -> int -> report
+(** Model the AOCL-BFS execution on a graph from the given root. *)

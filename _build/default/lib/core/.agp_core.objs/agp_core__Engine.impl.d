@@ -1,0 +1,1 @@
+lib/core/engine.ml: Agp_util Array Hashtbl Index Interp List Option Printf Spec State String Value

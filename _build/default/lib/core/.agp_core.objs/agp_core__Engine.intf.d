@@ -1,0 +1,1 @@
+lib/core/engine.mli: Index Interp Spec State Value

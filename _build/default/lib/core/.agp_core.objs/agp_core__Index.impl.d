@@ -1,0 +1,1 @@
+lib/core/index.ml: Array Format Stdlib String

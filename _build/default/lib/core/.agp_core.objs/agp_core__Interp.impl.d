@@ -1,0 +1,1 @@
+lib/core/interp.ml: Array Hashtbl List Printf Spec Value

@@ -1,0 +1,1 @@
+lib/core/parallel_runtime.ml: Atomic Domain Engine List Mutex Queue

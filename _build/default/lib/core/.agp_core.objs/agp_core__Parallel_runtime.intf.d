@@ -1,0 +1,1 @@
+lib/core/parallel_runtime.mli: Engine Spec State Value

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Engine List Queue

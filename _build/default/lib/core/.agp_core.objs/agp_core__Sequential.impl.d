@@ -1,0 +1,1 @@
+lib/core/sequential.ml: Engine List

@@ -1,0 +1,1 @@
+lib/core/state.ml: Agp_util Array Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Buffer Engine Hashtbl Index List Printf Queue Runtime Spec Value

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Runtime Spec State Value

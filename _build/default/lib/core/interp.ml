@@ -1,0 +1,116 @@
+type env = (string, Value.t) Hashtbl.t
+
+let arith_error op = invalid_arg ("Interp: bad operands for " ^ op)
+
+let eval_binop (op : Spec.binop) (a : Value.t) (b : Value.t) : Value.t =
+  let open Value in
+  let num_promote f_int f_float =
+    match (a, b) with
+    | Int x, Int y -> Int (f_int x y)
+    | Float x, Float y -> Float (f_float x y)
+    | Int x, Float y -> Float (f_float (float_of_int x) y)
+    | Float x, Int y -> Float (f_float x (float_of_int y))
+    | (Bool _, _ | _, Bool _) -> arith_error "arithmetic"
+  in
+  let cmp f =
+    match (a, b) with
+    | Int x, Int y -> Bool (f (compare x y) 0)
+    | Float x, Float y -> Bool (f (compare x y) 0)
+    | Int x, Float y -> Bool (f (compare (float_of_int x) y) 0)
+    | Float x, Int y -> Bool (f (compare x (float_of_int y)) 0)
+    | Bool x, Bool y -> Bool (f (compare x y) 0)
+    | (Bool _, _ | _, Bool _) -> arith_error "comparison"
+  in
+  match op with
+  | Add -> num_promote ( + ) ( +. )
+  | Sub -> num_promote ( - ) ( -. )
+  | Mul -> num_promote ( * ) ( *. )
+  | Div -> begin
+      match (a, b) with
+      | _, Int 0 -> invalid_arg "Interp: division by zero"
+      | _, (Int _ | Float _) -> num_promote ( / ) ( /. )
+      | _, Bool _ -> arith_error "division"
+    end
+  | Rem -> begin
+      match (a, b) with
+      | Int _, Int 0 -> invalid_arg "Interp: modulo by zero"
+      | Int x, Int y -> Int (x mod y)
+      | (Int _ | Float _ | Bool _), _ -> arith_error "rem"
+    end
+  | Min -> num_promote min min
+  | Max -> num_promote max max
+  | Eq -> cmp ( = )
+  | Ne -> cmp ( <> )
+  | Lt -> cmp ( < )
+  | Le -> cmp ( <= )
+  | Gt -> cmp ( > )
+  | Ge -> cmp ( >= )
+  | And -> Bool (Value.to_bool a && Value.to_bool b)
+  | Or -> Bool (Value.to_bool a || Value.to_bool b)
+
+let rec eval_expr env payload (e : Spec.expr) : Value.t =
+  match e with
+  | Const v -> v
+  | Param i ->
+      if i < 0 || i >= Array.length payload then
+        invalid_arg (Printf.sprintf "Interp: Param %d out of range" i)
+      else payload.(i)
+  | Var name -> begin
+      match Hashtbl.find_opt env name with
+      | Some v -> v
+      | None -> invalid_arg ("Interp: unbound variable " ^ name)
+    end
+  | Binop (op, a, b) -> eval_binop op (eval_expr env payload a) (eval_expr env payload b)
+  | Not e -> Value.Bool (not (Value.to_bool (eval_expr env payload e)))
+  | Neg e -> begin
+      match eval_expr env payload e with
+      | Value.Int n -> Value.Int (-n)
+      | Value.Float x -> Value.Float (-.x)
+      | Value.Bool _ -> arith_error "negation"
+    end
+
+(* A sentinel for out-of-range param/field probes in variadic rules:
+   comparisons against it are always false, overlap handles lengths
+   itself. *)
+exception Out_of_range
+
+let rec eval_cond_value ~params ~fields (c : Spec.cond) : Value.t =
+  match c with
+  | CConst b -> Value.Bool b
+  | CParam i -> if i < 0 || i >= Array.length params then raise Out_of_range else params.(i)
+  | CField i -> if i < 0 || i >= Array.length fields then raise Out_of_range else fields.(i)
+  | CEarlier | CLater -> assert false (* replaced before reaching here *)
+  | CBinop (op, a, b) ->
+      eval_binop op (eval_cond_value ~params ~fields a) (eval_cond_value ~params ~fields b)
+  | CNot c -> Value.Bool (not (Value.to_bool (eval_cond_value ~params ~fields c)))
+  | COverlap (p, f) ->
+      let tail arr from =
+        if from >= Array.length arr then []
+        else Array.to_list (Array.sub arr from (Array.length arr - from))
+      in
+      (* Negative integers are padding in fixed-width signatures (the
+         invalid bit of a CAM entry) and never match. *)
+      let valid = function
+        | Value.Int n -> n >= 0
+        | Value.Float _ | Value.Bool _ -> true
+      in
+      let ps = List.filter valid (tail params p) and fs = List.filter valid (tail fields f) in
+      Value.Bool (List.exists (fun x -> List.exists (Value.equal x) fs) ps)
+
+let eval_cond_strict ~params ~fields ~earlier ~later c =
+  (* Substitute the order relations, then evaluate; any out-of-range
+     probe makes the whole clause not match. *)
+  let rec subst (c : Spec.cond) : Spec.cond =
+    match c with
+    | CEarlier -> CConst earlier
+    | CLater -> CConst later
+    | CBinop (op, a, b) -> CBinop (op, subst a, subst b)
+    | CNot c -> CNot (subst c)
+    | (CConst _ | CParam _ | CField _ | COverlap _) as c -> c
+  in
+  match eval_cond_value ~params ~fields (subst c) with
+  | v -> Value.to_bool v
+  | exception Out_of_range -> false
+
+let eval_cond ~params ~fields ~event_earlier c =
+  eval_cond_strict ~params ~fields ~earlier:event_earlier ~later:false c

@@ -1,0 +1,29 @@
+(** A genuinely multicore implementation of the abstraction, per the
+    §4.4 implementation menu ("a thread pool and conditional variables
+    can be used to implement in Pthread"): OCaml 5 domains stand in for
+    pthreads, with the shared semantic {!Engine} guarded by one lock —
+    the engine transitions serialize (they are the "runtime system" of
+    aggressive parallelization) while [Prim] kernels and the domains'
+    scheduling run truly in parallel.
+
+    Unlike {!Runtime}, the schedule is nondeterministic: correctness is
+    asserted through the §4.1 equivalence criterion (the final state
+    must match the sequential oracle for result-deterministic
+    applications) rather than through reproducible step counts. *)
+
+type report = {
+  tasks_run : int;
+  domains_used : int;
+  stats : Engine.stats;
+}
+
+val run :
+  ?initial:(string * Value.t list) list ->
+  ?domains:int ->
+  Spec.t ->
+  Spec.bindings ->
+  State.t ->
+  report
+(** [run spec bindings state] executes to quiescence on [domains]
+    domains (default: min 4 of the recommended domain count).
+    @raise Failure on deadlock. *)

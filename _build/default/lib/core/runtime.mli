@@ -1,0 +1,35 @@
+(** The aggressive software runtime of §4.4: a fixed pool of abstract
+    workers executes active tasks concurrently (deterministic
+    op-by-op interleaving), while rules watch the event stream and the
+    minimum-task broadcasts to forward, squash or release tasks.
+
+    Whether the resulting schedule is speculative or coordinative is a
+    property of the specification's rules, not of this runtime — both
+    paradigms of §4.2 run on the same machinery, as in the paper.
+
+    Tasks blocked at a rendezvous are parked off-worker (a worker is a
+    pipeline, not an OS thread), so the minimum task always makes
+    progress and the [otherwise] exit paths guarantee liveness. *)
+
+type report = {
+  tasks_run : int;  (** tasks that reached an outcome (incl. squashes) *)
+  steps : int;  (** scheduler ticks — a proxy for parallel makespan *)
+  max_concurrency : int;  (** peak simultaneously-running tasks *)
+  max_waiting : int;  (** peak parked tasks *)
+  avg_busy : float;  (** mean busy workers per tick (parallel efficiency) *)
+  stats : Engine.stats;
+  prim_counts : (string * int) list;
+}
+
+val run :
+  ?initial:(string * Value.t list) list ->
+  ?workers:int ->
+  ?max_steps:int ->
+  Spec.t ->
+  Spec.bindings ->
+  State.t ->
+  report
+(** [run ~initial ~workers spec bindings state] executes to quiescence
+    with the given worker count (default 8), mutating [state].
+    @raise Failure on deadlock (a rule without a viable exit path) or
+    when [max_steps] (default 100 million) is exceeded. *)

@@ -1,0 +1,22 @@
+type report = {
+  tasks_run : int;
+  stats : Engine.stats;
+  prim_counts : (string * int) list;
+}
+
+let run ?(initial = []) ?(max_tasks = 10_000_000) sp bindings st =
+  let eng = Engine.create sp bindings st in
+  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
+  let tasks_run = ref 0 in
+  (* Definition 4.3: always run the minimum active task. *)
+  let rec loop () =
+    if !tasks_run > max_tasks then failwith "Sequential.run: task budget exceeded";
+    match Engine.pop_min eng with
+    | None -> ()
+    | Some task ->
+        incr tasks_run;
+        ignore (Engine.run_to_completion eng task);
+        loop ()
+  in
+  loop ();
+  { tasks_run = !tasks_run; stats = Engine.stats eng; prim_counts = Engine.prim_counts eng }

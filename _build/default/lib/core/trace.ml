@@ -1,0 +1,196 @@
+type event_kind =
+  | Started
+  | Executed of string
+  | Blocked_at of string
+  | Resumed of bool
+  | Committed
+  | Aborted
+  | Retried
+
+type entry = {
+  tick : int;
+  worker : int;
+  tid : int;
+  set_name : string;
+  index : string;
+  kind : event_kind;
+}
+
+type t = {
+  entries : entry list;
+  report : Runtime.report;
+}
+
+let op_descriptor (op : Spec.op) =
+  match op with
+  | Spec.Let (v, _) -> "let " ^ v
+  | Spec.Load (v, arr, _) -> Printf.sprintf "%s <- %s" v arr
+  | Spec.Store (arr, _, _) -> "store " ^ arr
+  | Spec.Push (set, _) -> "push " ^ set
+  | Spec.Push_iter (set, _, _, _, _) -> "spawn* " ^ set
+  | Spec.Alloc (_, rule, _) -> "alloc " ^ rule
+  | Spec.Await (_, h) -> "await " ^ h
+  | Spec.Emit (l, _) -> "emit " ^ l
+  | Spec.If (_, _, _) -> "switch"
+  | Spec.Abort -> "abort"
+  | Spec.Retry -> "retry"
+  | Spec.Prim (_, name, _) -> "prim " ^ name
+
+(* A re-run of the Runtime scheduling loop with recording.  The loop is
+   kept structurally identical to Runtime.run so a traced execution has
+   the same schedule as an untraced one. *)
+let run ?(initial = []) ?(workers = 4) ?(max_entries = 100_000) sp bindings st =
+  let eng = Engine.create sp bindings st in
+  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
+  let entries = ref [] in
+  let n_entries = ref 0 in
+  let set_name slot = (List.nth sp.Spec.task_sets slot).Spec.ts_name in
+  let record tick worker (task : Engine.task) kind =
+    if !n_entries < max_entries then begin
+      incr n_entries;
+      entries :=
+        {
+          tick;
+          worker;
+          tid = task.Engine.tid;
+          set_name = set_name task.Engine.set_slot;
+          index = Index.to_string task.Engine.index;
+          kind;
+        }
+        :: !entries
+    end
+  in
+  let slots : Engine.task option array = Array.make workers None in
+  let resumable = Queue.create () in
+  let tasks_run = ref 0 in
+  let steps = ref 0 in
+  let max_concurrency = ref 0 in
+  let total_busy = ref 0 in
+  let max_waiting = ref 0 in
+  let occupied () = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 slots in
+  while Engine.uncommitted_remaining eng do
+    incr steps;
+    if !steps > 50_000_000 then failwith "Trace.run: step budget exceeded";
+    let progressed = ref false in
+    for w = 0 to workers - 1 do
+      if slots.(w) = None then begin
+        if not (Queue.is_empty resumable) then begin
+          let task, verdict = Queue.pop resumable in
+          record !steps w task (Resumed verdict);
+          slots.(w) <- Some task
+        end
+        else begin
+          match Engine.pop_any eng with
+          | Some task ->
+              record !steps w task Started;
+              slots.(w) <- Some task
+          | None -> ()
+        end
+      end
+    done;
+    let busy = occupied () in
+    total_busy := !total_busy + busy;
+    max_concurrency := max !max_concurrency busy;
+    for w = 0 to workers - 1 do
+      match slots.(w) with
+      | None -> ()
+      | Some task -> begin
+          let descr =
+            match task.Engine.cont with
+            | op :: _ -> op_descriptor op
+            | [] -> "commit"
+          in
+          let handle =
+            match task.Engine.cont with
+            | Spec.Await (_, h) :: _ -> h
+            | _ -> ""
+          in
+          match Engine.step eng task with
+          | Engine.Stepped ->
+              progressed := true;
+              record !steps w task (Executed descr)
+          | Engine.Blocked ->
+              progressed := true;
+              record !steps w task (Blocked_at handle);
+              slots.(w) <- None;
+              Engine.resolve_pending eng
+          | Engine.Finished outcome ->
+              progressed := true;
+              incr tasks_run;
+              record !steps w task
+                (match outcome with
+                | Engine.Committed_task -> Committed
+                | Engine.Aborted_task -> Aborted
+                | Engine.Retried_task -> Retried);
+              slots.(w) <- None;
+              Engine.resolve_pending eng
+        end
+    done;
+    max_waiting := max !max_waiting (List.length (Engine.waiting_tasks eng));
+    List.iter
+      (fun (task : Engine.task) ->
+        let verdict =
+          match Hashtbl.find_opt task.Engine.env "ok" with
+          | Some (Value.Bool b) -> b
+          | Some _ | None -> true
+        in
+        Queue.push (task, verdict) resumable)
+      (Engine.resume_ready eng);
+    if (not !progressed) && Queue.is_empty resumable then begin
+      Engine.resolve_pending eng;
+      let woke = Engine.resume_ready eng in
+      List.iter (fun task -> Queue.push (task, true) resumable) woke;
+      if woke = [] && Engine.deadlocked eng then
+        failwith "Trace.run: deadlock — a rule lacks a viable exit path"
+    end
+  done;
+  let report : Runtime.report =
+    {
+      Runtime.tasks_run = !tasks_run;
+      steps = !steps;
+      max_concurrency = !max_concurrency;
+      max_waiting = !max_waiting;
+      avg_busy =
+        (if !steps = 0 then 0.0 else float_of_int !total_busy /. float_of_int !steps);
+      stats = Engine.stats eng;
+      prim_counts = Engine.prim_counts eng;
+    }
+  in
+  { entries = List.rev !entries; report }
+
+let render_timeline ?(max_ticks = 60) t =
+  let workers =
+    1 + List.fold_left (fun acc e -> max acc e.worker) 0 t.entries
+  in
+  let buf = Buffer.create 1024 in
+  let cell_of w tick =
+    let here = List.filter (fun e -> e.worker = w && e.tick = tick) t.entries in
+    match List.rev here with
+    | [] -> "."
+    | e :: _ -> begin
+        match e.kind with
+        | Aborted | Retried -> "*"
+        | Blocked_at _ -> "~"
+        | Started | Executed _ | Resumed _ | Committed -> e.index
+      end
+  in
+  for w = 0 to workers - 1 do
+    Buffer.add_string buf (Printf.sprintf "w%d: " w);
+    for tick = 1 to max_ticks do
+      Buffer.add_string buf (Printf.sprintf "%-8s" (cell_of w tick))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let summarize t =
+  let sets = List.sort_uniq compare (List.map (fun e -> e.set_name) t.entries) in
+  List.map
+    (fun set ->
+      let of_kind p = List.length (List.filter (fun e -> e.set_name = set && p e.kind) t.entries) in
+      ( set,
+        of_kind (fun k -> k = Committed),
+        of_kind (fun k -> k = Aborted),
+        of_kind (fun k -> k = Retried),
+        of_kind (function Blocked_at _ -> true | _ -> false) ))
+    sets

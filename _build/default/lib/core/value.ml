@@ -1,0 +1,36 @@
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+let pp fmt = function
+  | Int n -> Format.fprintf fmt "%d" n
+  | Float x -> Format.fprintf fmt "%g" x
+  | Bool b -> Format.fprintf fmt "%b" b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Bool x, Bool y -> x = y
+  | (Int _ | Float _ | Bool _), _ -> false
+
+let to_int = function
+  | Int n -> n
+  | Float _ | Bool _ as v -> invalid_arg ("Value.to_int: " ^ to_string v)
+
+let to_float = function
+  | Float x -> x
+  | Int n -> float_of_int n
+  | Bool _ as v -> invalid_arg ("Value.to_float: " ^ to_string v)
+
+let to_bool = function
+  | Bool b -> b
+  | Int _ | Float _ as v -> invalid_arg ("Value.to_bool: " ^ to_string v)
+
+let truthy = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Float _ as v -> invalid_arg ("Value.truthy: " ^ to_string v)

@@ -1,0 +1,28 @@
+(** Runtime values flowing through task pipelines.
+
+    Task payloads, local bindings, rule parameters and event fields are
+    all vectors of these values.  The set is deliberately small — it is
+    what a hardware token carries. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val to_int : t -> int
+(** @raise Invalid_argument on non-integers. *)
+
+val to_float : t -> float
+(** Ints widen; @raise Invalid_argument on booleans. *)
+
+val to_bool : t -> bool
+(** @raise Invalid_argument on non-booleans. *)
+
+val truthy : t -> bool
+(** [Bool b] is [b]; [Int n] is [n <> 0]; floats are an error. *)

@@ -1,0 +1,1 @@
+lib/dataflow/bdfg.ml: Agp_core Agp_util Array Buffer Format Hashtbl List Option Printf Seq

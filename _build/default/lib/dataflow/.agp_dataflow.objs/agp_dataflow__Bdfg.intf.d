@@ -1,0 +1,1 @@
+lib/dataflow/bdfg.mli: Agp_core

@@ -1,0 +1,238 @@
+module Spec = Agp_core.Spec
+module Vec = Agp_util.Vec
+
+type actor_kind =
+  | Entry
+  | Compute
+  | Load_op of string
+  | Store_op of string
+  | Spawn of string
+  | Spawn_iter of string
+  | Rule_alloc of string
+  | Rendezvous
+  | Event of string
+  | Switch
+  | Merge
+  | Prim_op of string
+  | Commit
+  | Squash
+  | Respawn
+
+type actor = {
+  id : int;
+  kind : actor_kind;
+  set : string;
+  label : string;
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  branch : bool option;
+}
+
+type t = {
+  actors : actor array;
+  edges : edge list;
+}
+
+type builder = {
+  acts : actor Vec.t;
+  mutable eds : edge list;
+}
+
+let new_actor b set kind label =
+  let a = { id = Vec.length b.acts; kind; set; label } in
+  Vec.push b.acts a;
+  a
+
+let connect b ?branch src dst = b.eds <- { src; dst; branch } :: b.eds
+
+let rec expr_label (e : Spec.expr) = Format.asprintf "%a" pp_expr_short e
+
+and pp_expr_short fmt (e : Spec.expr) =
+  match e with
+  | Spec.Const v -> Agp_core.Value.pp fmt v
+  | Spec.Param i -> Format.fprintf fmt "$%d" i
+  | Spec.Var v -> Format.fprintf fmt "%s" v
+  | Spec.Binop (_, _, _) -> Format.fprintf fmt "expr"
+  | Spec.Not _ -> Format.fprintf fmt "!expr"
+  | Spec.Neg _ -> Format.fprintf fmt "-expr"
+
+(* Compile a body; [prev] is the (actor, branch) feeding the next op.
+   Returns the dangling outputs that reach the end of the list (i.e.
+   fall through to Commit). *)
+let rec compile_body b set prev ops =
+  match ops with
+  | [] -> [ prev ]
+  | op :: rest -> begin
+      let pa, pbr = prev in
+      let simple kind label =
+        let a = new_actor b set kind label in
+        connect b ?branch:pbr pa.id a.id;
+        compile_body b set (a, None) rest
+      in
+      match op with
+      | Spec.Let (v, e) -> simple Compute (v ^ " = " ^ expr_label e)
+      | Spec.Load (v, arr, _) -> simple (Load_op arr) (v ^ " <- " ^ arr)
+      | Spec.Store (arr, _, _) -> simple (Store_op arr) (arr ^ " <- store")
+      | Spec.Push (target, _) -> simple (Spawn target) ("push " ^ target)
+      | Spec.Push_iter (target, _, _, _, _) -> simple (Spawn_iter target) ("spawn* " ^ target)
+      | Spec.Alloc (h, rule, _) -> simple (Rule_alloc rule) (h ^ " <- " ^ rule)
+      | Spec.Await (v, h) -> simple Rendezvous (v ^ " <- await " ^ h)
+      | Spec.Emit (l, _) -> simple (Event l) ("emit " ^ l)
+      | Spec.Prim (_, name, _) -> simple (Prim_op name) ("prim " ^ name)
+      | Spec.Abort ->
+          let a = new_actor b set Squash "abort" in
+          connect b ?branch:pbr pa.id a.id;
+          []
+      | Spec.Retry ->
+          let a = new_actor b set Respawn "retry" in
+          connect b ?branch:pbr pa.id a.id;
+          []
+      | Spec.If (_, then_ops, else_ops) ->
+          let sw = new_actor b set Switch "switch" in
+          connect b ?branch:pbr pa.id sw.id;
+          let then_ends = compile_body b set (sw, Some true) then_ops in
+          let else_ends = compile_body b set (sw, Some false) else_ops in
+          let ends = then_ends @ else_ends in
+          begin
+            match ends with
+            | [] -> [] (* both branches sink *)
+            | [ single ] -> compile_body b set single rest
+            | _ :: _ :: _ ->
+                let mg = new_actor b set Merge "merge" in
+                List.iter (fun (a, br) -> connect b ?branch:br a.id mg.id) ends;
+                compile_body b set (mg, None) rest
+          end
+    end
+
+let of_spec (sp : Spec.t) =
+  let b = { acts = Vec.create (); eds = [] } in
+  List.iter
+    (fun ts ->
+      let set = ts.Spec.ts_name in
+      let entry = new_actor b set Entry (set ^ " queue") in
+      let ends = compile_body b set (entry, None) ts.Spec.body in
+      match ends with
+      | [] -> ()
+      | ends ->
+          let commit = new_actor b set Commit "commit" in
+          List.iter (fun (a, br) -> connect b ?branch:br a.id commit.id) ends)
+    sp.Spec.task_sets;
+  { actors = Vec.to_array b.acts; edges = List.rev b.eds }
+
+let actors_of_set t set =
+  (* actor ids are allocated in pipeline order during compilation *)
+  Array.to_list (Array.of_seq (Seq.filter (fun a -> a.set = set) (Array.to_seq t.actors)))
+
+let is_primitive a =
+  match a.kind with
+  | Entry | Merge -> false
+  | Compute | Load_op _ | Store_op _ | Spawn _ | Spawn_iter _ | Rule_alloc _ | Rendezvous
+  | Event _ | Switch | Prim_op _ | Commit | Squash | Respawn ->
+      true
+
+let stage_count t set = List.length (List.filter is_primitive (actors_of_set t set))
+
+let depth t set =
+  (* ids are allocated in topological order within a body, so one
+     forward sweep computes the longest path *)
+  let actors = actors_of_set t set in
+  let dist = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let here = Option.value ~default:1 (Hashtbl.find_opt dist a.id) in
+      List.iter
+        (fun e ->
+          if e.src = a.id then begin
+            let cur = Option.value ~default:0 (Hashtbl.find_opt dist e.dst) in
+            if here + 1 > cur then Hashtbl.replace dist e.dst (here + 1)
+          end)
+        t.edges)
+    actors;
+  List.fold_left
+    (fun acc a -> max acc (Option.value ~default:1 (Hashtbl.find_opt dist a.id)))
+    1 actors
+
+let successors t id =
+  List.filter_map
+    (fun e -> if e.src = id then Some (t.actors.(e.dst), e.branch) else None)
+    t.edges
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let sets = List.sort_uniq compare (Array.to_list (Array.map (fun a -> a.set) t.actors)) in
+  let rec check_sets = function
+    | [] -> Ok ()
+    | set :: rest ->
+        let actors = actors_of_set t set in
+        let entries = List.filter (fun a -> a.kind = Entry) actors in
+        if List.length entries <> 1 then err "set %s has %d entries" set (List.length entries)
+        else begin
+          let bad_actor =
+            List.find_opt
+              (fun a ->
+                match a.kind with
+                | Commit | Squash | Respawn -> successors t a.id <> []
+                | Switch ->
+                    let succ = successors t a.id in
+                    not
+                      (List.exists (fun (_, br) -> br = Some true) succ
+                      && List.exists (fun (_, br) -> br = Some false) succ)
+                | Entry | Compute | Load_op _ | Store_op _ | Spawn _ | Spawn_iter _
+                | Rule_alloc _ | Event _ | Merge | Prim_op _ | Rendezvous ->
+                    (* a rendezvous forwards the resolved boolean; the
+                       steering switch follows as its own actor *)
+                    successors t a.id = [])
+              actors
+          in
+          match bad_actor with
+          | Some a -> err "set %s: actor %d (%s) ill-connected" set a.id a.label
+          | None -> check_sets rest
+        end
+  in
+  (* Acyclicity holds by construction (edges go to fresh actors), so
+     only connectivity is checked. *)
+  check_sets sets
+
+let kind_shape = function
+  | Entry -> "house"
+  | Compute -> "box"
+  | Load_op _ | Store_op _ -> "cylinder"
+  | Spawn _ | Spawn_iter _ -> "cds"
+  | Rule_alloc _ -> "component"
+  | Rendezvous -> "diamond"
+  | Event _ -> "rarrow"
+  | Switch -> "diamond"
+  | Merge -> "invtriangle"
+  | Prim_op _ -> "box3d"
+  | Commit -> "doublecircle"
+  | Squash | Respawn -> "octagon"
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph bdfg {\n  rankdir=TB;\n";
+  let sets = List.sort_uniq compare (Array.to_list (Array.map (fun a -> a.set) t.actors)) in
+  List.iteri
+    (fun i set ->
+      Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d {\n    label=%S;\n" i set);
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "    n%d [label=%S shape=%s];\n" a.id a.label (kind_shape a.kind)))
+        (actors_of_set t set);
+      Buffer.add_string buf "  }\n")
+    sets;
+  List.iter
+    (fun e ->
+      let style =
+        match e.branch with
+        | Some true -> " [label=\"T\"]"
+        | Some false -> " [label=\"F\"]"
+        | None -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" e.src e.dst style))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/experiments/amplification.ml: Agp_apps Agp_core Agp_util List Printf Workloads

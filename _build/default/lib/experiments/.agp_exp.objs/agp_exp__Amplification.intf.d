@@ -1,0 +1,1 @@
+lib/experiments/amplification.mli: Agp_apps Workloads

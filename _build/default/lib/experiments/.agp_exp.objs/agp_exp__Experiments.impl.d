@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Agp_apps Agp_baseline Agp_core Agp_graph Agp_hw Agp_util Array Buffer List Printf Queue String Workloads

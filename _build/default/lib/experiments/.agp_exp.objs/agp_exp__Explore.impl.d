@@ -1,0 +1,1 @@
+lib/experiments/explore.ml: Agp_apps Agp_core Agp_hw Agp_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/explore.mli: Agp_apps

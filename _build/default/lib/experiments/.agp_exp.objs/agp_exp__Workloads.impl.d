@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Agp_apps Agp_graph Printf

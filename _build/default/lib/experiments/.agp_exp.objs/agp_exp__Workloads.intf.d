@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Agp_apps Agp_graph

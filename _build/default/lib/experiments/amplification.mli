@@ -1,0 +1,28 @@
+(** Work amplification of aggressive parallelization — quantifying the
+    flooding the paper discusses in §6.3 ("pipelines may be flooded with
+    tasks that will be squashed later... rules should be chosen
+    judiciously").
+
+    For each benchmark we compare the algorithmically necessary task
+    count (the sequential oracle's committed tasks) against what the
+    aggressive execution actually activated, split into useful commits,
+    squashed speculation (aborts) and squash-and-re-execute retries. *)
+
+type row = {
+  amp_app : string;
+  necessary : int;  (** committed tasks of the sequential oracle *)
+  activated : int;  (** tasks activated by the aggressive runtime *)
+  committed : int;
+  squashed : int;  (** aborted + retried *)
+  amplification : float;  (** activated / necessary *)
+}
+
+val measure : ?workers:int -> Agp_apps.App_instance.t -> row
+(** Runs the app on the sequential oracle and the aggressive runtime
+    (both validated), then compares their task accounting. *)
+
+val table :
+  ?workers:int -> ?scale:Workloads.scale -> ?seed:int -> unit -> row list
+(** All six benchmarks. *)
+
+val print : row list -> unit

@@ -1,0 +1,118 @@
+module App_instance = Agp_apps.App_instance
+module Accelerator = Agp_hw.Accelerator
+module Config = Agp_hw.Config
+module Resource = Agp_hw.Resource
+module Spec = Agp_core.Spec
+module Table = Agp_util.Table
+
+type candidate = {
+  lanes : int;
+  pipelines_per_set : int;
+  window_factor : int;
+}
+
+type outcome = {
+  candidate : candidate;
+  cycles : int;
+  utilization : float;
+  fits : bool;
+  alms : int;
+  registers : int;
+}
+
+let default_candidates =
+  List.concat_map
+    (fun lanes ->
+      List.concat_map
+        (fun pipes ->
+          List.map (fun window -> { lanes; pipelines_per_set = pipes; window_factor = window })
+            [ 1; 2 ])
+        [ 2; 4; 8 ])
+    [ 64; 256 ]
+
+let config_of (app : App_instance.t) c =
+  let sets = List.map (fun ts -> (ts.Spec.ts_name, c.pipelines_per_set)) app.App_instance.spec.Spec.task_sets in
+  {
+    Config.default with
+    Config.rule_lanes = c.lanes;
+    Config.window_factor = c.window_factor;
+    Config.pipelines = sets;
+    Config.mlp = app.App_instance.fpga_mlp;
+    Config.prim_latency =
+      List.map
+        (fun (name, flops) -> (name, max 2 (flops / app.App_instance.fpga_ilp)))
+        app.App_instance.kernel_flops;
+  }
+
+let sweep ?(candidates = default_candidates) (app : App_instance.t) =
+  List.map
+    (fun c ->
+      let config = config_of app c in
+      let b = Resource.breakdown app.App_instance.spec config in
+      if not (Resource.fits b) then
+        {
+          candidate = c;
+          cycles = max_int;
+          utilization = 0.0;
+          fits = false;
+          alms = b.Resource.total.Resource.alms;
+          registers = b.Resource.total.Resource.registers;
+        }
+      else begin
+        let run = app.App_instance.fresh () in
+        let report =
+          Accelerator.run ~config ~auto_size:false ~spec:app.App_instance.spec
+            ~bindings:run.App_instance.bindings ~state:run.App_instance.state
+            ~initial:run.App_instance.initial ()
+        in
+        begin
+          match run.App_instance.check () with
+          | Ok () -> ()
+          | Error e ->
+              failwith
+                (Printf.sprintf "Explore.sweep: %s invalid under %d lanes/%d pipes: %s"
+                   app.App_instance.app_name c.lanes c.pipelines_per_set e)
+        end;
+        {
+          candidate = c;
+          cycles = report.Accelerator.cycles;
+          utilization = report.Accelerator.utilization;
+          fits = true;
+          alms = b.Resource.total.Resource.alms;
+          registers = b.Resource.total.Resource.registers;
+        }
+      end)
+    candidates
+
+let best outcomes =
+  List.fold_left
+    (fun acc o ->
+      if not o.fits then acc
+      else
+        match acc with
+        | None -> Some o
+        | Some b -> if o.cycles < b.cycles then Some o else acc)
+    None outcomes
+
+let print (app : App_instance.t) outcomes =
+  Printf.printf "design-space exploration for %s:\n" app.App_instance.app_name;
+  let t = Table.create [ "lanes"; "pipes/set"; "window"; "cycles"; "util"; "ALMs"; "fits" ] in
+  List.iter
+    (fun o ->
+      Table.add_row t
+        [
+          string_of_int o.candidate.lanes;
+          string_of_int o.candidate.pipelines_per_set;
+          string_of_int o.candidate.window_factor;
+          (if o.fits then string_of_int o.cycles else "-");
+          Printf.sprintf "%.1f%%" (100.0 *. o.utilization);
+          string_of_int o.alms;
+          string_of_bool o.fits;
+        ])
+    outcomes;
+  Table.print t;
+  match best outcomes with
+  | Some o ->
+      Printf.printf "best: %d lanes, %d pipelines/set, window x%d -> %d cycles\n"
+        o.candidate.lanes o.candidate.pipelines_per_set o.candidate.window_factor o.cycles
+  | None -> print_endline "no fitting configuration"

@@ -1,0 +1,40 @@
+(** Automatic design-space exploration — the paper's §8 future work:
+    "how to automatically choose parameters for templated components
+    when generating structures on FPGA".
+
+    Sweeps rule-engine lane counts, pipeline replication and reorder
+    window depth over the cycle model, discards configurations that do
+    not fit the device, and returns candidates ranked by simulated
+    cycles.  Each evaluated point is a full accelerator run whose
+    result is validated against the substrate reference. *)
+
+type candidate = {
+  lanes : int;
+  pipelines_per_set : int;
+  window_factor : int;
+}
+
+type outcome = {
+  candidate : candidate;
+  cycles : int;
+  utilization : float;
+  fits : bool;
+  alms : int;
+  registers : int;
+}
+
+val default_candidates : candidate list
+(** lanes {64, 256} x pipelines {2, 4, 8} x window {1, 2} (12 points). *)
+
+val sweep :
+  ?candidates:candidate list -> Agp_apps.App_instance.t -> outcome list
+(** Evaluate every candidate (fitting ones are simulated; non-fitting
+    ones are reported with [cycles = max_int]).  Results come back in
+    candidate order.
+    @raise Failure if any simulated configuration produces an invalid
+    result. *)
+
+val best : outcome list -> outcome option
+(** Fewest cycles among fitting candidates. *)
+
+val print : Agp_apps.App_instance.t -> outcome list -> unit

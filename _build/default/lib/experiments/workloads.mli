@@ -1,0 +1,32 @@
+(** Standard experiment workloads.
+
+    Sized so that each working set exceeds the 64 KB on-FPGA cache
+    (otherwise the QPI bandwidth sweep of Fig. 10 is a no-op) while
+    keeping full six-app sweeps to seconds of simulation.  [Small] is
+    used by the test suite, [Default] by the benchmark harness. *)
+
+type scale =
+  | Small
+  | Medium  (** the Fig. 10 sweep scale: above-cache working sets, 4x cheaper runs *)
+  | Default
+
+val scale_of_string : string -> (scale, string) result
+
+val all : scale -> seed:int -> Agp_apps.App_instance.t list
+(** The six paper benchmarks: SPEC-BFS, COOR-BFS, SPEC-SSSP, SPEC-MST,
+    SPEC-DMR, COOR-LU. *)
+
+val bfs_graph : scale -> seed:int -> Agp_graph.Csr.t
+(** The road-network graph shared by Table 1 and the BFS rows. *)
+
+val spec_bfs : scale -> seed:int -> Agp_apps.App_instance.t
+
+val coor_bfs : scale -> seed:int -> Agp_apps.App_instance.t
+
+val spec_sssp : scale -> seed:int -> Agp_apps.App_instance.t
+
+val spec_mst : scale -> seed:int -> Agp_apps.App_instance.t
+
+val spec_dmr : scale -> seed:int -> Agp_apps.App_instance.t
+
+val coor_lu : scale -> seed:int -> Agp_apps.App_instance.t

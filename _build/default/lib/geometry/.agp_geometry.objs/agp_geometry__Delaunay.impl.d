@@ -1,0 +1,1 @@
+lib/geometry/delaunay.ml: Array Float Hashtbl List Mesh Predicates

@@ -1,0 +1,1 @@
+lib/geometry/mesh.ml: Agp_util Array List Predicates Printf

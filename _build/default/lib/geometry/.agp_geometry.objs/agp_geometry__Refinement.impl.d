@@ -1,0 +1,1 @@
+lib/geometry/refinement.ml: Delaunay Float List Mesh Predicates Queue

@@ -1,0 +1,1 @@
+lib/geometry/refinement.mli: Delaunay

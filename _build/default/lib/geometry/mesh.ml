@@ -1,0 +1,133 @@
+module Vec = Agp_util.Vec
+module P = Predicates
+
+type point = float * float
+
+type tri = {
+  v : int array; (* 3 vertex ids, counter-clockwise *)
+  nbr : int array; (* nbr.(i) is across the edge opposite v.(i); -1 = hull *)
+  mutable alive : bool;
+}
+
+type t = {
+  points : point Vec.t;
+  tris : tri Vec.t;
+}
+
+let create pts = { points = Vec.of_array pts; tris = Vec.create () }
+
+let num_points t = Vec.length t.points
+
+let point t i = Vec.get t.points i
+
+let add_point t p =
+  Vec.push t.points p;
+  Vec.length t.points - 1
+
+let num_triangle_slots t = Vec.length t.tris
+
+let alive t i = (Vec.get t.tris i).alive
+
+let vertices t i =
+  let tr = Vec.get t.tris i in
+  (tr.v.(0), tr.v.(1), tr.v.(2))
+
+let neighbor t i k = (Vec.get t.tris i).nbr.(k)
+
+let add_triangle t a b c =
+  let pa = point t a and pb = point t b and pc = point t c in
+  let a, b, c = if P.ccw pa pb pc then (a, b, c) else (a, c, b) in
+  Vec.push t.tris { v = [| a; b; c |]; nbr = [| -1; -1; -1 |]; alive = true };
+  Vec.length t.tris - 1
+
+let kill t i = (Vec.get t.tris i).alive <- false
+
+(* Edge opposite vertex index k of triangle [tr] is (v.(k+1), v.(k+2)). *)
+let edge_of tr k = (tr.v.((k + 1) mod 3), tr.v.((k + 2) mod 3))
+
+let shared_edge_index ta tb =
+  (* index k in ta such that edge k of ta is an edge of tb (reversed) *)
+  let has_edge tr (x, y) =
+    let rec loop k =
+      if k >= 3 then false
+      else begin
+        let ex, ey = edge_of tr k in
+        ((ex = x && ey = y) || (ex = y && ey = x)) || loop (k + 1)
+      end
+    in
+    loop 0
+  in
+  let rec loop k =
+    if k >= 3 then None
+    else if has_edge tb (edge_of ta k) then Some k
+    else loop (k + 1)
+  in
+  loop 0
+
+let link t a b =
+  if b >= 0 then begin
+    let ta = Vec.get t.tris a and tb = Vec.get t.tris b in
+    match (shared_edge_index ta tb, shared_edge_index tb ta) with
+    | Some ka, Some kb ->
+        ta.nbr.(ka) <- b;
+        tb.nbr.(kb) <- a
+    | _ -> invalid_arg "Mesh.link: triangles share no edge"
+  end
+
+let opposite_index t tri nbr =
+  let tr = Vec.get t.tris tri in
+  let rec loop k =
+    if k >= 3 then raise Not_found else if tr.nbr.(k) = nbr then k else loop (k + 1)
+  in
+  loop 0
+
+let live_triangles t =
+  let acc = ref [] in
+  Vec.iteri (fun i tr -> if tr.alive then acc := i :: !acc) t.tris;
+  List.rev !acc
+
+let num_live t = Vec.fold (fun acc tr -> if tr.alive then acc + 1 else acc) 0 t.tris
+
+let corners t i =
+  let a, b, c = vertices t i in
+  (point t a, point t b, point t c)
+
+let min_angle t i =
+  let pa, pb, pc = corners t i in
+  P.triangle_min_angle pa pb pc
+
+let circumcenter t i =
+  let pa, pb, pc = corners t i in
+  P.circumcenter pa pb pc
+
+let in_circumcircle t i p =
+  let pa, pb, pc = corners t i in
+  P.in_circle pa pb pc p
+
+let contains t i p =
+  let pa, pb, pc = corners t i in
+  P.orient2d pa pb p >= 0.0 && P.orient2d pb pc p >= 0.0 && P.orient2d pc pa p >= 0.0
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let problem = ref None in
+  Vec.iteri
+    (fun i tr ->
+      if tr.alive && !problem = None then begin
+        let pa, pb, pc = corners t i in
+        if not (P.ccw pa pb pc) then problem := Some (Printf.sprintf "triangle %d not ccw" i)
+        else
+          for k = 0 to 2 do
+            let n = tr.nbr.(k) in
+            if n >= 0 && !problem = None then begin
+              let tn = Vec.get t.tris n in
+              if not tn.alive then problem := Some (Printf.sprintf "triangle %d links dead %d" i n)
+              else if not (Array.exists (fun x -> x = i) tn.nbr) then
+                problem := Some (Printf.sprintf "adjacency %d->%d not symmetric" i n)
+            end
+          done
+      end)
+    t.tris;
+  match !problem with
+  | Some msg -> err "%s" msg
+  | None -> Ok ()

@@ -1,0 +1,70 @@
+(** Mutable triangle meshes with adjacency.
+
+    Triangles are stored in a growing arena and never reused: deletion
+    marks a slot dead and later insertions allocate fresh ids.  This
+    mirrors the array-of-records layout the simulated accelerator reads
+    through the memory system and makes triangle ids stable task
+    payloads. *)
+
+type point = float * float
+
+type t
+
+val create : point array -> t
+(** [create pts] makes a mesh whose vertex table starts with [pts]
+    (no triangles yet).  Further vertices may be added by {!add_point}. *)
+
+val num_points : t -> int
+
+val point : t -> int -> point
+
+val add_point : t -> point -> int
+(** Appends a vertex, returning its id. *)
+
+val num_triangle_slots : t -> int
+(** Arena size, including dead slots. *)
+
+val alive : t -> int -> bool
+
+val vertices : t -> int -> int * int * int
+(** Vertex ids of a triangle (counter-clockwise). *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor t tri i] is the triangle sharing the edge opposite vertex
+    [i] of [tri], or [-1] on the hull. *)
+
+val add_triangle : t -> int -> int -> int -> int
+(** [add_triangle t a b c] allocates a live triangle with the given
+    vertices (reordered to counter-clockwise), neighbours unset ([-1]).
+    Returns its id. *)
+
+val kill : t -> int -> unit
+(** Mark a triangle dead.  Neighbour links of others are not touched;
+    callers rewire adjacency via {!link}. *)
+
+val link : t -> int -> int -> unit
+(** [link t a b] connects two live triangles that share an edge (finds
+    the shared edge and sets both neighbour slots).  [link t a (-1)] is a
+    no-op.  @raise Invalid_argument when no shared edge exists. *)
+
+val opposite_index : t -> int -> int -> int
+(** [opposite_index t tri nbr] is the index [i] such that
+    [neighbor t tri i = nbr].  @raise Not_found otherwise. *)
+
+val live_triangles : t -> int list
+
+val num_live : t -> int
+
+val min_angle : t -> int -> float
+(** Smallest interior angle (degrees) of a live triangle. *)
+
+val circumcenter : t -> int -> point
+
+val in_circumcircle : t -> int -> point -> bool
+
+val contains : t -> int -> point -> bool
+(** Point-in-triangle (closed, counter-clockwise). *)
+
+val validate : t -> (unit, string) result
+(** Adjacency symmetry, counter-clockwise orientation and liveness
+    consistency for every live triangle. *)

@@ -1,0 +1,54 @@
+let epsilon = 1e-12
+
+let orient2d (ax, ay) (bx, by) (cx, cy) =
+  let det = ((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax)) in
+  if Float.abs det < epsilon then 0.0 else det
+
+let ccw a b c = orient2d a b c > 0.0
+
+let in_circle (ax, ay) (bx, by) (cx, cy) (px, py) =
+  let adx = ax -. px and ady = ay -. py in
+  let bdx = bx -. px and bdy = by -. py in
+  let cdx = cx -. px and cdy = cy -. py in
+  let ad2 = (adx *. adx) +. (ady *. ady) in
+  let bd2 = (bdx *. bdx) +. (bdy *. bdy) in
+  let cd2 = (cdx *. cdx) +. (cdy *. cdy) in
+  let det =
+    (adx *. ((bdy *. cd2) -. (bd2 *. cdy)))
+    -. (ady *. ((bdx *. cd2) -. (bd2 *. cdx)))
+    +. (ad2 *. ((bdx *. cdy) -. (bdy *. cdx)))
+  in
+  det > epsilon
+
+let circumcenter (ax, ay) (bx, by) (cx, cy) =
+  let d = 2.0 *. ((ax *. (by -. cy)) +. (bx *. (cy -. ay)) +. (cx *. (ay -. by))) in
+  let a2 = (ax *. ax) +. (ay *. ay) in
+  let b2 = (bx *. bx) +. (by *. by) in
+  let c2 = (cx *. cx) +. (cy *. cy) in
+  let ux = ((a2 *. (by -. cy)) +. (b2 *. (cy -. ay)) +. (c2 *. (ay -. by))) /. d in
+  let uy = ((a2 *. (cx -. bx)) +. (b2 *. (ax -. cx)) +. (c2 *. (bx -. ax))) /. d in
+  (ux, uy)
+
+let dist (ax, ay) (bx, by) = Float.hypot (bx -. ax) (by -. ay)
+
+let circumradius a b c = dist (circumcenter a b c) a
+
+let shortest_edge a b c = min (dist a b) (min (dist b c) (dist c a))
+
+let triangle_area a b c =
+  let (ax, ay), (bx, by), (cx, cy) = (a, b, c) in
+  Float.abs (((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax))) /. 2.0
+
+let angle_at (ax, ay) (bx, by) (cx, cy) =
+  (* angle at vertex a of triangle abc *)
+  let ux = bx -. ax and uy = by -. ay in
+  let vx = cx -. ax and vy = cy -. ay in
+  let dot = (ux *. vx) +. (uy *. vy) in
+  let nu = Float.hypot ux uy and nv = Float.hypot vx vy in
+  if nu = 0.0 || nv = 0.0 then 0.0
+  else begin
+    let c = Float.max (-1.0) (Float.min 1.0 (dot /. (nu *. nv))) in
+    acos c *. 180.0 /. Float.pi
+  end
+
+let triangle_min_angle a b c = min (angle_at a b c) (min (angle_at b c a) (angle_at c a b))

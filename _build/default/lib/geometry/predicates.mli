@@ -1,0 +1,31 @@
+(** Planar geometric predicates.
+
+    Double-precision evaluations with a conservative epsilon filter —
+    adequate for the random point clouds used as DMR workloads (points
+    are generated with spacing far above the filter threshold). *)
+
+val orient2d : float * float -> float * float -> float * float -> float
+(** Positive when the three points make a counter-clockwise turn,
+    negative for clockwise, 0 for (near-)collinear. *)
+
+val ccw : float * float -> float * float -> float * float -> bool
+(** [orient2d a b c > 0]. *)
+
+val in_circle : float * float -> float * float -> float * float -> float * float -> bool
+(** [in_circle a b c p] is true when [p] lies strictly inside the
+    circumcircle of the counter-clockwise triangle [abc]. *)
+
+val circumcenter : float * float -> float * float -> float * float -> float * float
+(** Circumcenter of a non-degenerate triangle. *)
+
+val circumradius : float * float -> float * float -> float * float -> float
+
+val dist : float * float -> float * float -> float
+
+val triangle_min_angle : float * float -> float * float -> float * float -> float
+(** Smallest interior angle in degrees. *)
+
+val triangle_area : float * float -> float * float -> float * float -> float
+(** Unsigned area. *)
+
+val shortest_edge : float * float -> float * float -> float * float -> float

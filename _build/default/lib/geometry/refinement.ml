@@ -1,0 +1,71 @@
+module P = Predicates
+
+type config = {
+  min_angle : float;
+  edge_floor : float;
+}
+
+let default_config = { min_angle = 20.7; edge_floor = 1e-6 }
+
+let is_bad cfg (t : Delaunay.t) tri =
+  Mesh.alive t.mesh tri
+  && Delaunay.inside_domain t tri
+  &&
+  let a, b, c = Mesh.vertices t.mesh tri in
+  let pa = Mesh.point t.mesh a and pb = Mesh.point t.mesh b and pc = Mesh.point t.mesh c in
+  P.triangle_min_angle pa pb pc < cfg.min_angle && P.shortest_edge pa pb pc > cfg.edge_floor
+
+let bad_triangles cfg t = List.filter (is_bad cfg t) (Mesh.live_triangles t.mesh)
+
+type step = {
+  killed : int list;
+  created : int list;
+  new_bad : int list;
+}
+
+let refine_one cfg (t : Delaunay.t) tri =
+  if not (is_bad cfg t tri) then None
+  else begin
+    (* Chew's kernel: insert the circumcenter.  The victim's own
+       circumcircle is empty (Delaunay) and the new vertex sits at its
+       center, so every insertion keeps a global minimum vertex spacing
+       of B * edge_floor — the packing argument that bounds total work.
+       The circumcenter is strictly inside the victim's circumcircle, so
+       the cavity always swallows the victim. *)
+    match Delaunay.insert_point t.mesh ~hint:tri (Mesh.circumcenter t.mesh tri) with
+    | None -> None
+    | Some (_, killed, created) ->
+        let new_bad = List.filter (is_bad cfg t) created in
+        Some { killed; created; new_bad }
+  end
+
+let refine cfg t =
+  let work = Queue.create () in
+  List.iter (fun tri -> Queue.push tri work) (bad_triangles cfg t);
+  let insertions = ref 0 in
+  while not (Queue.is_empty work) do
+    let tri = Queue.pop work in
+    match refine_one cfg t tri with
+    | None -> ()
+    | Some step ->
+        incr insertions;
+        List.iter (fun nb -> Queue.push nb work) step.new_bad
+  done;
+  !insertions
+
+type stats = {
+  initial_bad : int;
+  insertions : int;
+  final_triangles : int;
+  min_angle_after : float;
+}
+
+let refine_with_stats cfg t =
+  let initial_bad = List.length (bad_triangles cfg t) in
+  let insertions = refine cfg t in
+  let live = Mesh.live_triangles t.mesh in
+  let interior = List.filter (Delaunay.inside_domain t) live in
+  let min_angle_after =
+    List.fold_left (fun acc tri -> Float.min acc (Mesh.min_angle t.mesh tri)) 180.0 interior
+  in
+  { initial_bad; insertions; final_triangles = List.length live; min_angle_after }

@@ -1,0 +1,48 @@
+(** Delaunay mesh refinement (Chew's algorithm): repeatedly insert the
+    circumcenter of a "bad" (poor-quality) triangle until none remain.
+
+    This module is the sequential reference for SPEC-DMR and also serves
+    the accelerator model, whose tasks call {!refine_one} as their
+    problem-specific datapath while the rule engine arbitrates cavity
+    overlaps between concurrent tasks. *)
+
+type config = {
+  min_angle : float;  (** triangles below this interior angle (degrees) are bad *)
+  edge_floor : float;  (** triangles with a shortest edge below this are left alone *)
+}
+
+val default_config : config
+(** 20.7° (Chew's B = √2 bound) and a tiny positive edge floor;
+    together with circumcenter-only insertion and the domain-interior
+    restriction this guarantees termination (minimum-spacing packing
+    argument). *)
+
+val is_bad : config -> Delaunay.t -> int -> bool
+(** Bad = live, entirely inside the input domain, angle below the
+    threshold, shortest edge above the floor. *)
+
+val bad_triangles : config -> Delaunay.t -> int list
+
+type step = {
+  killed : int list;  (** cavity triangles removed (the conflict footprint) *)
+  created : int list;  (** fresh triangles *)
+  new_bad : int list;  (** created triangles that are themselves bad *)
+}
+
+val refine_one : config -> Delaunay.t -> int -> step option
+(** Refine one bad triangle by inserting its circumcenter (Chew's
+    kernel).  [None] when the triangle is already dead or no longer
+    bad. *)
+
+val refine : config -> Delaunay.t -> int
+(** Run to fixpoint; returns the number of successful insertions.
+    Postcondition: [bad_triangles cfg t = \[\]]. *)
+
+type stats = {
+  initial_bad : int;
+  insertions : int;
+  final_triangles : int;
+  min_angle_after : float;
+}
+
+val refine_with_stats : config -> Delaunay.t -> stats

@@ -1,0 +1,1 @@
+lib/graph/bfs.ml: Array Csr Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/graph/dimacs.ml: Buffer Csr In_channel List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/graph/generator.ml: Agp_util Array Csr Hashtbl List

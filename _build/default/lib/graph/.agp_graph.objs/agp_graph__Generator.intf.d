@@ -1,0 +1,1 @@
+lib/graph/generator.mli: Csr

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Agp_util Array Csr List Printf

@@ -1,0 +1,1 @@
+lib/graph/sssp.ml: Agp_util Array Csr Printf Queue

@@ -1,0 +1,22 @@
+(** Reference breadth-first search (the sequential algorithm of the
+    paper's Figure 1a) plus helpers used as correctness oracles for the
+    SPEC-BFS / COOR-BFS accelerators. *)
+
+val infinity_level : int
+(** Sentinel stored for unreached vertices ([max_int / 2]). *)
+
+val levels : Csr.t -> int -> int array
+(** [levels g root] assigns each vertex its BFS level: [root] gets 0,
+    unreachable vertices get {!infinity_level}. *)
+
+val level_histogram : int array -> (int * int) list
+(** [(level, count)] pairs, ascending, excluding unreached vertices. *)
+
+val diameter_from : Csr.t -> int -> int
+(** Largest finite level observed from the given root. *)
+
+val check_levels : Csr.t -> int -> int array -> (unit, string) result
+(** Verify a level assignment without recomputing the reference:
+    root is 0, every edge differs by at most 1 level, every non-root
+    reached vertex has a parent one level below, and reachability agrees
+    with a fresh traversal's visit set. *)

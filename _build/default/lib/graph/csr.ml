@@ -1,0 +1,108 @@
+type t = {
+  n : int;
+  m : int;
+  row_ptr : int array;
+  col : int array;
+  weight : int array;
+}
+
+let of_edges ?(directed = false) ~n edges =
+  let all =
+    if directed then edges
+    else List.concat_map (fun (u, v, w) -> [ (u, v, w); (v, u, w) ]) edges
+  in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v, _) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Csr.of_edges: vertex out of range";
+      deg.(u) <- deg.(u) + 1)
+    all;
+  let row_ptr = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row_ptr.(v + 1) <- row_ptr.(v) + deg.(v)
+  done;
+  let m = row_ptr.(n) in
+  let col = Array.make (max m 1) 0 in
+  let weight = Array.make (max m 1) 0 in
+  let cursor = Array.copy row_ptr in
+  List.iter
+    (fun (u, v, w) ->
+      let slot = cursor.(u) in
+      col.(slot) <- v;
+      weight.(slot) <- w;
+      cursor.(u) <- slot + 1)
+    all;
+  (* Sort each adjacency list for determinism. *)
+  for v = 0 to n - 1 do
+    let lo = row_ptr.(v) and hi = row_ptr.(v + 1) in
+    let slice = Array.init (hi - lo) (fun i -> (col.(lo + i), weight.(lo + i))) in
+    Array.sort compare slice;
+    Array.iteri
+      (fun i (c, w) ->
+        col.(lo + i) <- c;
+        weight.(lo + i) <- w)
+      slice
+  done;
+  { n; m; row_ptr; col; weight }
+
+let degree g v = g.row_ptr.(v + 1) - g.row_ptr.(v)
+
+let iter_neighbors g v f =
+  for i = g.row_ptr.(v) to g.row_ptr.(v + 1) - 1 do
+    f g.col.(i) g.weight.(i)
+  done
+
+let fold_neighbors g v f acc =
+  let acc = ref acc in
+  iter_neighbors g v (fun dst w -> acc := f !acc dst w);
+  !acc
+
+let edges g =
+  let out = ref [] in
+  for v = g.n - 1 downto 0 do
+    for i = g.row_ptr.(v + 1) - 1 downto g.row_ptr.(v) do
+      out := (v, g.col.(i), g.weight.(i)) :: !out
+    done
+  done;
+  !out
+
+let undirected_edges g =
+  List.filter (fun (u, v, _) -> u <= v) (edges g)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    best := max !best (degree g v)
+  done;
+  !best
+
+let total_weight g = Array.fold_left ( + ) 0 (Array.sub g.weight 0 g.m)
+
+let is_symmetric g =
+  let has_edge u v w =
+    fold_neighbors g u (fun acc dst dw -> acc || (dst = v && dw = w)) false
+  in
+  List.for_all (fun (u, v, w) -> has_edge v u w) (edges g)
+
+let validate g =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.length g.row_ptr <> g.n + 1 then err "row_ptr length %d <> n+1" (Array.length g.row_ptr)
+  else if g.row_ptr.(0) <> 0 then err "row_ptr.(0) <> 0"
+  else if g.row_ptr.(g.n) <> g.m then err "row_ptr.(n) %d <> m %d" g.row_ptr.(g.n) g.m
+  else begin
+    let rec check_mono v =
+      if v >= g.n then Ok ()
+      else if g.row_ptr.(v + 1) < g.row_ptr.(v) then err "row_ptr not monotone at %d" v
+      else check_mono (v + 1)
+    in
+    match check_mono 0 with
+    | Error _ as e -> e
+    | Ok () ->
+        let rec check_edges i =
+          if i >= g.m then Ok ()
+          else if g.col.(i) < 0 || g.col.(i) >= g.n then err "edge %d target out of range" i
+          else if g.weight.(i) <= 0 then err "edge %d weight not positive" i
+          else check_edges (i + 1)
+        in
+        check_edges 0
+  end

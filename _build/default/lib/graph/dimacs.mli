@@ -1,0 +1,17 @@
+(** Reader/writer for the 9th DIMACS Implementation Challenge shortest
+    path format ([.gr] files: [c] comments, one [p sp n m] problem line,
+    [a u v w] arc lines with 1-based vertices).
+
+    Lets real road-network inputs be swapped in for the synthetic
+    generator when available. *)
+
+val parse : string -> (Csr.t, string) result
+(** Parse the contents of a [.gr] file (arcs are taken as directed; a
+    symmetric file round-trips to a symmetric graph). *)
+
+val read_file : string -> (Csr.t, string) result
+
+val to_string : Csr.t -> string
+(** Serialize all stored directed edges. *)
+
+val write_file : string -> Csr.t -> unit

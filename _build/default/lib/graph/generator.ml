@@ -1,0 +1,102 @@
+module Rng = Agp_util.Rng
+
+let road ~seed ~width ~height =
+  let rng = Rng.create seed in
+  let n = width * height in
+  let id x y = (y * width) + x in
+  let edges = ref [] in
+  let add u v w = edges := (u, v, w) :: !edges in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let w () = Rng.int_in rng 1 10 in
+      (* Keep the leftmost column and bottom row intact so the grid stays
+         connected even when other edges are dropped. *)
+      if x + 1 < width && (y = 0 || not (Rng.chance rng 0.08)) then
+        add (id x y) (id (x + 1) y) (w ());
+      if y + 1 < height && (x = 0 || not (Rng.chance rng 0.08)) then
+        add (id x y) (id x (y + 1)) (w ());
+      if x + 1 < width && y + 1 < height && Rng.chance rng 0.05 then
+        add (id x y) (id (x + 1) (y + 1)) (Rng.int_in rng 2 14)
+    done
+  done;
+  Csr.of_edges ~n !edges
+
+let spanning_backbone rng n =
+  (* A random spanning tree: connect each vertex i>0 to a random earlier
+     vertex, guaranteeing connectivity. *)
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    let u = Rng.int rng v in
+    edges := (u, v, Rng.int_in rng 1 100) :: !edges
+  done;
+  !edges
+
+let dedup_edges n edges =
+  let seen = Hashtbl.create (List.length edges) in
+  List.filter
+    (fun (u, v, _) ->
+      let key = (min u v * n) + max u v in
+      if u = v || Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    edges
+
+let random ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let backbone = spanning_backbone rng n in
+  let extra = ref [] in
+  let want = max 0 (m - List.length backbone) in
+  (* Oversample then dedup; good enough for sparse graphs. *)
+  for _ = 1 to want * 2 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then extra := (u, v, Rng.int_in rng 1 100) :: !extra
+  done;
+  let all = dedup_edges n (backbone @ !extra) in
+  let truncated =
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | e :: rest -> e :: take (k - 1) rest
+    in
+    take m all
+  in
+  Csr.of_edges ~n truncated
+
+let rmat ~seed ~scale ~edge_factor =
+  let rng = Rng.create seed in
+  let n = 1 lsl scale in
+  let target = edge_factor * n in
+  let a = 0.57 and b = 0.19 and c = 0.19 in
+  let sample () =
+    let u = ref 0 and v = ref 0 in
+    for bit = scale - 1 downto 0 do
+      let r = Rng.float rng 1.0 in
+      if r < a then ()
+      else if r < a +. b then v := !v lor (1 lsl bit)
+      else if r < a +. b +. c then u := !u lor (1 lsl bit)
+      else begin
+        u := !u lor (1 lsl bit);
+        v := !v lor (1 lsl bit)
+      end
+    done;
+    (!u, !v)
+  in
+  let backbone = spanning_backbone rng n in
+  let extra = ref [] in
+  for _ = 1 to target * 2 do
+    let u, v = sample () in
+    if u <> v then extra := (u, v, Rng.int_in rng 1 100) :: !extra
+  done;
+  let all = dedup_edges n (backbone @ !extra) in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: rest -> e :: take (k - 1) rest
+  in
+  Csr.of_edges ~n (take target all)
+
+let points ~seed ~n ~span =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> (Rng.float rng span, Rng.float rng span))

@@ -1,0 +1,27 @@
+(** Synthetic graph workload generators.
+
+    The paper evaluates BFS/SSSP on the DIMACS USA road network and the
+    other kernels on their original inputs.  These generators produce
+    laptop-scale graphs with the structural properties that drive the
+    published results (see DESIGN.md, substitution table). *)
+
+val road : seed:int -> width:int -> height:int -> Csr.t
+(** Planar road-network stand-in: a [width] x [height] grid where each
+    node connects to its right/down neighbours, a fraction of diagonal
+    shortcuts, and a small fraction of deleted edges (keeping the grid
+    connected).  High diameter, degree 2-4, weights 1-10 — the regime in
+    which level-synchronized BFS pays one round per level. *)
+
+val random : seed:int -> n:int -> m:int -> Csr.t
+(** Erdős–Rényi-style multigraph-free random graph with [m] undirected
+    edges and weights 1-100.  The whole graph is always connected via a
+    spanning backbone. *)
+
+val rmat : seed:int -> scale:int -> edge_factor:int -> Csr.t
+(** R-MAT power-law graph with [2^scale] vertices and
+    [edge_factor * 2^scale] undirected edges (a=0.57 b=0.19 c=0.19),
+    connected via a spanning backbone; weights 1-100. *)
+
+val points : seed:int -> n:int -> span:float -> (float * float) array
+(** [n] uniformly random 2-D points in [\[0,span\)]² for the DMR
+    workload. *)

@@ -1,0 +1,45 @@
+module Union_find = Agp_util.Union_find
+
+type tree = {
+  edges : (int * int * int) list;
+  weight : int;
+  components : int;
+}
+
+let sorted_edges g =
+  let arr = Array.of_list (Csr.undirected_edges g) in
+  Array.sort (fun (u1, v1, w1) (u2, v2, w2) -> compare (w1, u1, v1) (w2, u2, v2)) arr;
+  arr
+
+let kruskal (g : Csr.t) =
+  let uf = Union_find.create g.n in
+  let chosen = ref [] in
+  let weight = ref 0 in
+  Array.iter
+    (fun (u, v, w) ->
+      if Union_find.union uf u v then begin
+        chosen := (u, v, w) :: !chosen;
+        weight := !weight + w
+      end)
+    (sorted_edges g);
+  { edges = List.rev !chosen; weight = !weight; components = Union_find.count_sets uf }
+
+let check (g : Csr.t) r =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let uf = Union_find.create g.n in
+  let rec add = function
+    | [] -> Ok ()
+    | (u, v, _) :: rest ->
+        if Union_find.union uf u v then add rest else err "cycle through edge %d-%d" u v
+  in
+  match add r.edges with
+  | Error _ as e -> e
+  | Ok () ->
+      let reference = kruskal g in
+      if List.length r.edges <> List.length reference.edges then
+        err "tree has %d edges, expected %d" (List.length r.edges) (List.length reference.edges)
+      else if r.weight <> reference.weight then
+        err "tree weight %d, optimal is %d" r.weight reference.weight
+      else if Union_find.count_sets uf <> reference.components then
+        err "component count mismatch"
+      else Ok ()

@@ -1,0 +1,21 @@
+(** Reference single-source shortest paths.
+
+    Dijkstra provides the gold answer; the worklist Bellman-Ford variant
+    mirrors the task structure that SPEC-SSSP aggressively parallelizes
+    (Hassaan et al., PPoPP'11) and additionally reports how much work the
+    unordered algorithm performs. *)
+
+val unreachable : int
+(** Distance sentinel for unreachable vertices. *)
+
+val dijkstra : Csr.t -> int -> int array
+
+val bellman_ford : Csr.t -> int -> int array * int
+(** Worklist (chaotic-relaxation) Bellman-Ford.  Returns the distance
+    array and the number of relaxation tasks executed — the sequential
+    task count of the SPEC-SSSP formulation. *)
+
+val check_distances : Csr.t -> int -> int array -> (unit, string) result
+(** Triangle-inequality certificate: [d.(root) = 0], every edge is
+    relaxed ([d.(v) <= d.(u) + w]), and every reached non-root vertex has
+    a tight incoming edge. *)

@@ -1,0 +1,1 @@
+lib/hardware/accelerator.ml: Agp_core Agp_dataflow Array Config Hashtbl List Memory Resource

@@ -1,0 +1,1 @@
+lib/hardware/accelerator.mli: Agp_core Config

@@ -1,0 +1,1 @@
+lib/hardware/memory.ml: Array Config Float List

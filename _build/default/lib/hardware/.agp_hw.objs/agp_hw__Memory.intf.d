@@ -1,0 +1,1 @@
+lib/hardware/memory.mli: Config

@@ -1,0 +1,1 @@
+lib/hardware/resource.ml: Agp_core Agp_dataflow Config List

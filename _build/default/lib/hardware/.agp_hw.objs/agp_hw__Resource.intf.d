@@ -1,0 +1,1 @@
+lib/hardware/resource.mli: Agp_core Agp_dataflow Config

@@ -1,0 +1,1 @@
+lib/hardware/wavefront.ml: Array List

@@ -1,0 +1,1 @@
+lib/hardware/wavefront.mli:

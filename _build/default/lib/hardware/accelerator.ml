@@ -1,0 +1,266 @@
+module Engine = Agp_core.Engine
+module Spec = Agp_core.Spec
+module State = Agp_core.State
+module Bdfg = Agp_dataflow.Bdfg
+
+type in_flight = {
+  mutable ready : int;
+  tsk : Engine.task;
+}
+
+type pipeline = {
+  set_name : string;
+  capacity : int;
+  stage_ops : int;
+  mutable window : in_flight list;
+}
+
+type report = {
+  cycles : int;
+  seconds : float;
+  utilization : float;
+  engine_stats : Agp_core.Engine.stats;
+  mem_reads : int;
+  mem_writes : int;
+  mem_hit_rate : float;
+  bytes_over_link : int;
+  peak_in_flight : int;
+  pipelines : (string * int) list;
+}
+
+let prim_compute_latency (cfg : Config.t) name =
+  match List.assoc_opt name cfg.Config.prim_latency with
+  | Some l -> l
+  | None -> 4
+
+(* Latency of the op the engine just executed, judged from its kind and
+   the addresses it touched. *)
+let op_latency cfg mem state ~now ~op ~activated_delta =
+  let trace = State.drain_trace state in
+  let addrs =
+    List.map
+      (fun a -> (State.address_of state a.State.array_name a.State.index, a.State.is_write))
+      trace
+  in
+  match (op : Spec.op) with
+  | Spec.Let _ | Spec.Emit _ | Spec.If _ | Spec.Push _ | Spec.Alloc _ | Spec.Await _
+  | Spec.Abort | Spec.Retry ->
+      1
+  | Spec.Push_iter _ -> max 1 activated_delta
+  | Spec.Store _ ->
+      (* posted write: the task proceeds next cycle while the line
+         transfer still occupies cache and link (deep write buffer) *)
+      ignore (Memory.access_burst mem ~now ~addrs ~dependent:true);
+      1
+  | Spec.Load _ ->
+      let completion = Memory.access_burst mem ~now ~addrs ~dependent:true in
+      max 1 (completion - now)
+  | Spec.Prim (_, name, _) ->
+      let compute = prim_compute_latency cfg name in
+      let completion = Memory.access_burst mem ~now ~addrs ~dependent:false in
+      max compute (completion - now)
+
+let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~initial () =
+  let cfg =
+    if config.Config.pipelines = [] && auto_size then
+      Config.with_pipelines config (Resource.heuristic_pipelines spec ~max_per_set:8)
+    else config
+  in
+  let graph = Bdfg.of_spec spec in
+  let eng = Engine.create spec bindings state in
+  let mem = Memory.create cfg in
+  State.set_tracing state true;
+  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
+  (* initial pushes may touch no memory but could fire events; clear any
+     stray trace *)
+  ignore (State.drain_trace state);
+  let pipes =
+    List.concat_map
+      (fun ts ->
+        let set = ts.Spec.ts_name in
+        let stage_ops = Bdfg.stage_count graph set in
+        List.init (Config.pipeline_count cfg set) (fun _ ->
+            {
+              set_name = set;
+              capacity = max 4 (stage_ops * cfg.Config.window_factor);
+              stage_ops;
+              window = [];
+            }))
+      spec.Spec.task_sets
+    |> Array.of_list
+  in
+  let total_stage_ops = Array.fold_left (fun acc p -> acc + p.stage_ops) 0 pipes in
+  let cycle = ref 0 in
+  let active_op_cycles = ref 0 in
+  let peak_in_flight = ref 0 in
+  let in_flight_count () = Array.fold_left (fun acc p -> acc + List.length p.window) 0 pipes in
+  (* The allocator reserves a priority lane for the minimum uncommitted
+     task: it can always enter a rule engine, reach its rendezvous and
+     fire its otherwise clause — the liveness argument of §4.2.1 under
+     finite lanes. *)
+  let must_stall_alloc tsk =
+    Engine.live_rule_count eng >= cfg.Config.rule_lanes
+    &&
+    match Engine.min_uncommitted_index eng with
+    | Some m -> Agp_core.Index.compare tsk.Engine.index m <> 0
+    | None -> false
+  in
+  let guard = ref 0 in
+  while Engine.uncommitted_remaining eng do
+    incr guard;
+    if !guard > 50_000_000 then failwith "Accelerator.run: cycle budget exceeded";
+    let now = !cycle in
+    (* 1. issue: each pipeline may accept one task per cycle, capped by
+       queue bank bandwidth per set *)
+    let pops_left = Hashtbl.create 4 in
+    Array.iter
+      (fun p ->
+        if not (Hashtbl.mem pops_left p.set_name) then
+          Hashtbl.add pops_left p.set_name cfg.Config.queue_banks)
+      pipes;
+    Array.iter
+      (fun p ->
+        let left = Hashtbl.find pops_left p.set_name in
+        if left > 0 && List.length p.window < p.capacity then begin
+          match Engine.pop_task eng p.set_name with
+          | Some tsk ->
+              Hashtbl.replace pops_left p.set_name (left - 1);
+              p.window <- { ready = now; tsk } :: p.window
+          | None -> ()
+        end)
+      pipes;
+    (* priority admission: the globally minimum task must always reach
+       the rule engines, or lane exhaustion can starve the otherwise
+       paths — admit it even into a full window (the squash/re-execute
+       slot of a TLS pipeline) *)
+    begin
+      match (Engine.min_pending_head eng, Engine.min_uncommitted_index eng) with
+      | Some head, Some m when Agp_core.Index.compare head.Engine.index m = 0 ->
+          let set = (List.nth spec.Spec.task_sets head.Engine.set_slot).Spec.ts_name in
+          let in_window =
+            Array.exists
+              (fun p -> List.exists (fun f -> f.tsk.Engine.tid = head.Engine.tid) p.window)
+              pipes
+          in
+          if not in_window then begin
+            match Engine.pop_task eng set with
+            | Some tsk ->
+                let p = Array.to_list pipes |> List.find (fun p -> p.set_name = set) in
+                p.window <- { ready = now; tsk } :: p.window
+            | None -> ()
+          end
+      | (Some _ | None), (Some _ | None) -> ()
+    end;
+    peak_in_flight := max !peak_in_flight (in_flight_count ());
+    (* 2. execute one op for every ready in-flight task *)
+    let any_finish = ref false in
+    Array.iter
+      (fun p ->
+        let survivors = ref [] in
+        List.iter
+          (fun f ->
+            if f.ready > now then survivors := f :: !survivors
+            else begin
+              match f.tsk.Engine.cont with
+              | Spec.Alloc _ :: _ when must_stall_alloc f.tsk ->
+                  (* stall at the rule-engine allocator *)
+                  f.ready <- now + 1;
+                  survivors := f :: !survivors
+              | ops -> begin
+                  let op = List.nth_opt ops 0 in
+                  let activated_before = (Engine.stats eng).Engine.activated in
+                  match Engine.step eng f.tsk with
+                  | Engine.Stepped ->
+                      incr active_op_cycles;
+                      let delta = (Engine.stats eng).Engine.activated - activated_before in
+                      let lat =
+                        match op with
+                        | Some op ->
+                            op_latency cfg mem state ~now ~op ~activated_delta:delta
+                        | None -> 1
+                      in
+                      f.ready <- now + lat;
+                      survivors := f :: !survivors
+                  | Engine.Blocked ->
+                      (* parked in a rule lane at the rendezvous *)
+                      incr active_op_cycles;
+                      any_finish := true
+                  | Engine.Finished _ ->
+                      incr active_op_cycles;
+                      any_finish := true
+                end
+            end)
+          p.window;
+        p.window <- !survivors)
+      pipes;
+    if !any_finish then Engine.resolve_pending eng;
+    (* 3. wake resolved rendezvous back into their pipelines *)
+    let place_resumed tasks =
+      List.iter
+        (fun tsk ->
+          let set = (List.nth spec.Spec.task_sets tsk.Engine.set_slot).Spec.ts_name in
+          let best = ref None in
+          Array.iter
+            (fun p ->
+              if p.set_name = set then
+                match !best with
+                | None -> best := Some p
+                | Some b -> if List.length p.window < List.length b.window then best := Some p)
+            pipes;
+          match !best with
+          | Some p -> p.window <- { ready = now + 1; tsk } :: p.window
+          | None -> failwith "Accelerator.run: no pipeline for resumed task")
+        tasks
+    in
+    let resumed = Engine.resume_ready eng in
+    place_resumed resumed;
+    (* 4. advance time: fast-forward to the next event when everything
+       in flight is waiting on latency *)
+    let next_ready =
+      Array.fold_left
+        (fun acc p -> List.fold_left (fun acc f -> min acc f.ready) acc p.window)
+        max_int pipes
+    in
+    let can_issue =
+      Engine.pending_count eng > 0
+      && Array.exists (fun p -> List.length p.window < p.capacity) pipes
+    in
+    let next =
+      if can_issue || resumed <> [] then now + 1
+      else if next_ready < max_int then max (now + 1) next_ready
+      else now + 1
+    in
+    (* deadlock detection: nothing in flight, nothing pending, only
+       waiting tasks whose rules cannot resolve *)
+    if
+      (not can_issue)
+      && next_ready = max_int
+      && resumed = []
+      && Engine.uncommitted_remaining eng
+    then begin
+      Engine.resolve_pending eng;
+      match Engine.resume_ready eng with
+      | [] ->
+          if Engine.deadlocked eng then failwith "Accelerator.run: deadlock in rule resolution"
+      | woken -> place_resumed woken
+    end;
+    cycle := next
+  done;
+  State.set_tracing state false;
+  let st = Memory.stats mem in
+  {
+    cycles = !cycle;
+    seconds = Config.cycles_to_seconds cfg !cycle;
+    utilization =
+      (if !cycle = 0 || total_stage_ops = 0 then 0.0
+       else float_of_int !active_op_cycles /. float_of_int (!cycle * total_stage_ops));
+    engine_stats = Engine.stats eng;
+    mem_reads = st.Memory.reads;
+    mem_writes = st.Memory.writes;
+    mem_hit_rate = Memory.hit_rate mem;
+    bytes_over_link = st.Memory.bytes_over_link;
+    peak_in_flight = !peak_in_flight;
+    pipelines =
+      List.map (fun ts -> (ts.Spec.ts_name, Config.pipeline_count cfg ts.Spec.ts_name))
+        spec.Spec.task_sets;
+  }

@@ -1,0 +1,43 @@
+(** Cycle-level model of the generalized synthesized accelerator
+    (Fig. 7): replicated task pipelines per task set, multi-bank task
+    queues, shared rule engines, and the cache/QPI memory subsystem.
+
+    The simulator wraps the semantic {!Agp_core.Engine} — the very same
+    transition system the software runtimes use — and charges time
+    around each operation: loads and stores travel through
+    {!Memory}, data-dependent spawners occupy their stage once per
+    emitted token, prims occupy their stage for a configured kernel
+    latency plus their access burst, rendezvous park the task in a rule
+    lane until resolution.  Because semantics and timing are strictly
+    separated, every accelerated run is validated with the same checks
+    as the software runs. *)
+
+type report = {
+  cycles : int;
+  seconds : float;
+  utilization : float;
+      (** mean active primitive operations over total instantiated
+          primitive operations (the Fig. 10 metric) *)
+  engine_stats : Agp_core.Engine.stats;
+  mem_reads : int;
+  mem_writes : int;
+  mem_hit_rate : float;
+  bytes_over_link : int;
+  peak_in_flight : int;
+  pipelines : (string * int) list;  (** replication actually used *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?auto_size:bool ->
+  spec:Agp_core.Spec.t ->
+  bindings:Agp_core.Spec.bindings ->
+  state:Agp_core.State.t ->
+  initial:(string * Agp_core.Value.t list) list ->
+  unit ->
+  report
+(** Simulate to quiescence, mutating [state] exactly as the software
+    runtimes would.  With [auto_size] (default true) the pipeline
+    replication is chosen by {!Resource.heuristic_pipelines} when the
+    configuration leaves it empty.
+    @raise Failure on deadlock or divergence. *)

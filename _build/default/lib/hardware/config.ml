@@ -1,0 +1,43 @@
+type t = {
+  clock_mhz : float;
+  cache_bytes : int;
+  line_bytes : int;
+  hit_latency : int;
+  miss_latency : int;
+  qpi_gbps : float;
+  pipelines : (string * int) list;
+  rule_lanes : int;
+  mlp : int;
+  prim_latency : (string * int) list;
+  queue_banks : int;
+  window_factor : int;
+}
+
+let default =
+  {
+    clock_mhz = 200.0;
+    cache_bytes = 64 * 1024;
+    line_bytes = 64;
+    hit_latency = 14;
+    miss_latency = 40;
+    qpi_gbps = 7.0;
+    pipelines = [];
+    rule_lanes = 256;
+    mlp = 4;
+    prim_latency = [];
+    queue_banks = 8;
+    window_factor = 2;
+  }
+
+let scale_bandwidth t factor = { t with qpi_gbps = t.qpi_gbps *. factor }
+
+let with_pipelines t pipelines = { t with pipelines }
+
+let bytes_per_cycle t = t.qpi_gbps *. 1.0e9 /. (t.clock_mhz *. 1.0e6)
+
+let cycles_to_seconds t cycles = float_of_int cycles /. (t.clock_mhz *. 1.0e6)
+
+let pipeline_count t set =
+  match List.assoc_opt set t.pipelines with
+  | Some n -> max 1 n
+  | None -> 1

@@ -1,0 +1,88 @@
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable bytes_over_link : int;
+  mutable link_busy_until : float;
+}
+
+type t = {
+  cfg : Config.t;
+  tags : int array; (* -1 = invalid; direct mapped *)
+  n_lines : int;
+  st : stats;
+}
+
+let create (cfg : Config.t) =
+  let n_lines = cfg.Config.cache_bytes / cfg.Config.line_bytes in
+  {
+    cfg;
+    tags = Array.make n_lines (-1);
+    n_lines;
+    st =
+      { reads = 0; writes = 0; hits = 0; misses = 0; bytes_over_link = 0; link_busy_until = 0.0 };
+  }
+
+let access t ~now ~addr ~is_write =
+  let st = t.st in
+  if is_write then st.writes <- st.writes + 1 else st.reads <- st.reads + 1;
+  let line = addr / t.cfg.Config.line_bytes in
+  let slot = line mod t.n_lines in
+  if t.tags.(slot) = line then begin
+    st.hits <- st.hits + 1;
+    now + t.cfg.Config.hit_latency
+  end
+  else begin
+    st.misses <- st.misses + 1;
+    t.tags.(slot) <- line;
+    (* wait for a link slot, then the round trip *)
+    let line_time = float_of_int t.cfg.Config.line_bytes /. Config.bytes_per_cycle t.cfg in
+    let start = Float.max (float_of_int now) st.link_busy_until in
+    st.link_busy_until <- start +. line_time;
+    st.bytes_over_link <- st.bytes_over_link + t.cfg.Config.line_bytes;
+    int_of_float (Float.ceil (start +. line_time)) + t.cfg.Config.miss_latency
+  end
+
+let access_burst t ~now ~addrs ~dependent =
+  match addrs with
+  | [] -> now
+  | addrs ->
+      if dependent then
+        List.fold_left (fun when_ (addr, is_write) -> access t ~now:when_ ~addr ~is_write) now addrs
+      else begin
+        (* issue mlp at a time; each wave starts when the previous wave
+           completes *)
+        let mlp = max 1 t.cfg.Config.mlp in
+        let rec waves now = function
+          | [] -> now
+          | rest ->
+              let rec take k acc = function
+                | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+                | tl -> (List.rev acc, tl)
+              in
+              let wave, tl = take mlp [] rest in
+              let completion =
+                List.fold_left
+                  (fun worst (addr, is_write) -> max worst (access t ~now ~addr ~is_write))
+                  now wave
+              in
+              waves completion tl
+        in
+        waves now addrs
+      end
+
+let stats t = t.st
+
+let hit_rate t =
+  let total = t.st.hits + t.st.misses in
+  if total = 0 then 1.0 else float_of_int t.st.hits /. float_of_int total
+
+let reset_stats t =
+  let st = t.st in
+  st.reads <- 0;
+  st.writes <- 0;
+  st.hits <- 0;
+  st.misses <- 0;
+  st.bytes_over_link <- 0;
+  st.link_busy_until <- 0.0

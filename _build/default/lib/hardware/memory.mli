@@ -1,0 +1,36 @@
+(** The problem-independent memory subsystem of §5.2: a direct-mapped
+    on-FPGA cache (HARP's CCI cache) in front of a bandwidth-limited
+    QPI link to host DRAM.
+
+    The model is cycle-accurate at the request level: hits cost the
+    fixed hit latency; misses wait for a link slot (a token bucket at
+    the configured GB/s) plus the round-trip latency.  It is the
+    bottleneck the paper identifies, and the component scaled by the
+    Fig. 10 bandwidth sweep. *)
+
+type t
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable bytes_over_link : int;
+  mutable link_busy_until : float;
+}
+
+val create : Config.t -> t
+
+val access : t -> now:int -> addr:int -> is_write:bool -> int
+(** Completion cycle of a single request issued at [now]. *)
+
+val access_burst : t -> now:int -> addrs:(int * bool) list -> dependent:bool -> int
+(** Completion of a multi-access kernel burst.  [dependent] chains the
+    requests (pointer chase); otherwise they issue [Config.mlp] at a
+    time. *)
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+
+val reset_stats : t -> unit

@@ -1,0 +1,53 @@
+type t = {
+  n_banks : int;
+  n_ports : int;
+  mutable diagonal : int; (* rotating priority *)
+  counts : int array;
+}
+
+let create ~banks ~ports =
+  if banks <= 0 || ports <= 0 then invalid_arg "Wavefront.create: sizes must be positive";
+  { n_banks = banks; n_ports = ports; diagonal = 0; counts = Array.make banks 0 }
+
+let banks t = t.n_banks
+
+let ports t = t.n_ports
+
+let allocate t ~requests =
+  if Array.length requests <> t.n_banks then invalid_arg "Wavefront.allocate: bank mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.n_ports then invalid_arg "Wavefront.allocate: port mismatch")
+    requests;
+  let bank_free = Array.make t.n_banks true in
+  let port_free = Array.make t.n_ports true in
+  let grants = ref [] in
+  (* Sweep the wavefronts: cells (b, p) with (b + p) mod n on the same
+     wavefront are conflict-free by construction, so each wavefront can
+     grant in parallel; starting from the rotating diagonal gives
+     round-robin fairness. *)
+  let n = max t.n_banks t.n_ports in
+  for wave = 0 to n - 1 do
+    let d = (t.diagonal + wave) mod n in
+    for b = 0 to t.n_banks - 1 do
+      let p = (d - b + (n * 2)) mod n in
+      if p < t.n_ports && bank_free.(b) && port_free.(p) && requests.(b).(p) then begin
+        bank_free.(b) <- false;
+        port_free.(p) <- false;
+        t.counts.(b) <- t.counts.(b) + 1;
+        grants := (b, p) :: !grants
+      end
+    done
+  done;
+  t.diagonal <- (t.diagonal + 1) mod n;
+  List.rev !grants
+
+let allocate_uniform t ~requesting =
+  if Array.length requesting <> t.n_banks then
+    invalid_arg "Wavefront.allocate_uniform: bank mismatch";
+  let requests =
+    Array.map (fun want -> Array.make t.n_ports want) requesting
+  in
+  allocate t ~requests
+
+let grant_counts t = Array.copy t.counts

@@ -1,0 +1,31 @@
+(** Wavefront allocator (Becker & Dally, SC'09) — the arbiter the paper
+    places between a multi-bank task queue's banks and the pipelines
+    consuming from it (§5.2): each cycle it computes a conflict-free
+    matching between requesting banks and free pipeline ports, with a
+    rotating priority diagonal for fairness.
+
+    This is the explicit component model behind the issue stage of
+    {!Accelerator} (which abstracts it as "at most [queue_banks] pops
+    per set per cycle"); it is exposed so the arbitration itself can be
+    tested and its fairness characterized. *)
+
+type t
+
+val create : banks:int -> ports:int -> t
+
+val banks : t -> int
+
+val ports : t -> int
+
+val allocate : t -> requests:bool array array -> (int * int) list
+(** [allocate t ~requests] computes one cycle's matching.
+    [requests.(b).(p)] means bank [b] wants to deliver to port [p].
+    Returns granted (bank, port) pairs — at most one grant per bank and
+    per port — and rotates the priority diagonal.
+    @raise Invalid_argument on a shape mismatch. *)
+
+val allocate_uniform : t -> requesting:bool array -> (int * int) list
+(** Common case: every requesting bank can feed any port. *)
+
+val grant_counts : t -> int array
+(** Total grants per bank since creation (for fairness checks). *)

@@ -1,0 +1,1 @@
+lib/sparse/block_matrix.ml: Agp_util Array Dense_block Float Option

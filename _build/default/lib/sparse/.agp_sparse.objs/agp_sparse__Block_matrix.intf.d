@@ -1,0 +1,1 @@
+lib/sparse/block_matrix.mli: Dense_block

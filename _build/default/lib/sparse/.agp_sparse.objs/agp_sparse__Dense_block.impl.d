@@ -1,0 +1,1 @@
+lib/sparse/dense_block.ml: Agp_util Array Float

@@ -1,0 +1,1 @@
+lib/sparse/dense_block.mli: Agp_util

@@ -1,0 +1,1 @@
+lib/sparse/sparse_lu.ml: Agp_util Array Block_matrix Dense_block Float List Option Printf

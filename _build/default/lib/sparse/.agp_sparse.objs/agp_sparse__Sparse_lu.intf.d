@@ -1,0 +1,1 @@
+lib/sparse/sparse_lu.mli: Block_matrix

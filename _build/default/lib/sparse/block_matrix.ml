@@ -1,0 +1,66 @@
+module Rng = Agp_util.Rng
+
+type t = {
+  nb : int;
+  bs : int;
+  blocks : Dense_block.t option array;
+}
+
+let create ~nb ~bs = { nb; bs; blocks = Array.make (nb * nb) None }
+
+let idx t i j =
+  if i < 0 || i >= t.nb || j < 0 || j >= t.nb then invalid_arg "Block_matrix: block out of range";
+  (i * t.nb) + j
+
+let get t i j = t.blocks.(idx t i j)
+
+let present t i j = get t i j <> None
+
+let set t i j b = t.blocks.(idx t i j) <- Some b
+
+let ensure t i j =
+  match get t i j with
+  | Some b -> b
+  | None ->
+      let b = Dense_block.create t.bs in
+      set t i j b;
+      b
+
+let random_sparse ~seed ~nb ~bs ~density =
+  let rng = Rng.create seed in
+  let t = create ~nb ~bs in
+  for i = 0 to nb - 1 do
+    for j = 0 to nb - 1 do
+      if i = j || Rng.chance rng density then set t i j (Dense_block.random rng bs)
+    done
+  done;
+  t
+
+let copy t = { t with blocks = Array.map (Option.map Dense_block.copy) t.blocks }
+
+let num_present t =
+  Array.fold_left (fun acc b -> if b = None then acc else acc + 1) 0 t.blocks
+
+let to_dense t =
+  let n = t.nb * t.bs in
+  let d = Array.make (n * n) 0.0 in
+  for bi = 0 to t.nb - 1 do
+    for bj = 0 to t.nb - 1 do
+      match get t bi bj with
+      | None -> ()
+      | Some b ->
+          for i = 0 to t.bs - 1 do
+            for j = 0 to t.bs - 1 do
+              d.((((bi * t.bs) + i) * n) + (bj * t.bs) + j) <- Dense_block.get b t.bs i j
+            done
+          done
+    done
+  done;
+  d
+
+let max_abs_diff a b =
+  if a.nb <> b.nb || a.bs <> b.bs then invalid_arg "Block_matrix.max_abs_diff: shape mismatch";
+  let da = to_dense a and db = to_dense b in
+  let best = ref 0.0 in
+  Array.iteri (fun i x -> best := Float.max !best (Float.abs (x -. db.(i)))) da;
+  !best

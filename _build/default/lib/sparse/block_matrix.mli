@@ -1,0 +1,36 @@
+(** Blocked sparse matrices: an [nb] × [nb] grid of optional dense
+    [bs] × [bs] blocks, the input format of the BOTS sparselu kernel. *)
+
+type t = {
+  nb : int;  (** blocks per side *)
+  bs : int;  (** rows/columns per block *)
+  blocks : Dense_block.t option array;  (** row-major grid, [nb * nb] entries *)
+}
+
+val create : nb:int -> bs:int -> t
+(** All blocks absent. *)
+
+val random_sparse : seed:int -> nb:int -> bs:int -> density:float -> t
+(** BOTS-like structure: every diagonal block present, each off-diagonal
+    block present with probability [density]. *)
+
+val get : t -> int -> int -> Dense_block.t option
+
+val present : t -> int -> int -> bool
+
+val set : t -> int -> int -> Dense_block.t -> unit
+
+val ensure : t -> int -> int -> Dense_block.t
+(** Return the block, allocating a zero block if absent (fill-in). *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val num_present : t -> int
+
+val to_dense : t -> float array
+(** Row-major [(nb*bs)]² dense expansion; absent blocks are zero. *)
+
+val max_abs_diff : t -> t -> float
+(** Max absolute entry difference of the dense expansions (grids must
+    have equal shape). *)

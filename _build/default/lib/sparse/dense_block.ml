@@ -1,0 +1,98 @@
+module Rng = Agp_util.Rng
+
+type t = float array
+
+let create bs = Array.make (bs * bs) 0.0
+
+let random rng bs =
+  Array.init (bs * bs) (fun idx ->
+      let i = idx / bs and j = idx mod bs in
+      if i = j then (1.0 +. Rng.float rng 1.0) *. float_of_int bs else Rng.float rng 1.0)
+
+let copy = Array.copy
+
+let identity bs =
+  Array.init (bs * bs) (fun idx -> if idx / bs = idx mod bs then 1.0 else 0.0)
+
+let get b bs i j = b.((i * bs) + j)
+
+let set b bs i j v = b.((i * bs) + j) <- v
+
+let lu0 b bs =
+  for k = 0 to bs - 1 do
+    let pivot = get b bs k k in
+    for i = k + 1 to bs - 1 do
+      let lik = get b bs i k /. pivot in
+      set b bs i k lik;
+      for j = k + 1 to bs - 1 do
+        set b bs i j (get b bs i j -. (lik *. get b bs k j))
+      done
+    done
+  done
+
+let fwd ~diag b bs =
+  (* Solve L x = b column by column, where L is the unit lower triangle
+     of [diag]. *)
+  for j = 0 to bs - 1 do
+    for i = 0 to bs - 1 do
+      let acc = ref (get b bs i j) in
+      for k = 0 to i - 1 do
+        acc := !acc -. (get diag bs i k *. get b bs k j)
+      done;
+      set b bs i j !acc
+    done
+  done
+
+let bdiv ~diag b bs =
+  (* Solve x U = b row by row, where U is the upper triangle of [diag]. *)
+  for i = 0 to bs - 1 do
+    for j = 0 to bs - 1 do
+      let acc = ref (get b bs i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (get b bs i k *. get diag bs k j)
+      done;
+      set b bs i j (!acc /. get diag bs j j)
+    done
+  done
+
+let bmod ~row ~col b bs =
+  for i = 0 to bs - 1 do
+    for j = 0 to bs - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to bs - 1 do
+        acc := !acc +. (get row bs i k *. get col bs k j)
+      done;
+      set b bs i j (get b bs i j -. !acc)
+    done
+  done
+
+let matmul a b bs =
+  let c = create bs in
+  for i = 0 to bs - 1 do
+    for k = 0 to bs - 1 do
+      let aik = get a bs i k in
+      if aik <> 0.0 then
+        for j = 0 to bs - 1 do
+          set c bs i j (get c bs i j +. (aik *. get b bs k j))
+        done
+    done
+  done;
+  c
+
+let sub a b bs =
+  let c = create bs in
+  for idx = 0 to (bs * bs) - 1 do
+    c.(idx) <- a.(idx) -. b.(idx)
+  done;
+  c
+
+let max_abs b = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 b
+
+let split_lu b bs =
+  let l = identity bs and u = create bs in
+  for i = 0 to bs - 1 do
+    for j = 0 to bs - 1 do
+      if i > j then set l bs i j (get b bs i j) else set u bs i j (get b bs i j)
+    done
+  done;
+  (l, u)

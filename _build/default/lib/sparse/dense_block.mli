@@ -1,0 +1,49 @@
+(** Dense square blocks and the four sparselu block kernels.
+
+    These are the per-task datapaths of COOR-LU (the blocked sparse LU
+    factorization from the Barcelona OpenMP Task Suite): [lu0] factors a
+    diagonal block in place, [fwd]/[bdiv] solve the triangular systems
+    along the pivot row/column, and [bmod] applies the Schur-complement
+    update to a trailing block. *)
+
+type t = float array
+(** Row-major [bs * bs] block. *)
+
+val create : int -> t
+(** Zero block of the given block size. *)
+
+val random : Agp_util.Rng.t -> int -> t
+(** Diagonally-dominant-ish random block (entries in [\[1, 2\)] on the
+    diagonal scaled by block size, off-diagonal in [\[0, 1\)]), keeping
+    pivots well away from zero. *)
+
+val copy : t -> t
+
+val identity : int -> t
+
+val get : t -> int -> int -> int -> float
+(** [get b bs i j]. *)
+
+val set : t -> int -> int -> int -> float -> unit
+
+val lu0 : t -> int -> unit
+(** In-place LU factorization without pivoting. *)
+
+val fwd : diag:t -> t -> int -> unit
+(** [fwd ~diag b bs]: b := L(diag)⁻¹ · b. *)
+
+val bdiv : diag:t -> t -> int -> unit
+(** [bdiv ~diag b bs]: b := b · U(diag)⁻¹. *)
+
+val bmod : row:t -> col:t -> t -> int -> unit
+(** [bmod ~row ~col b bs]: b := b − row · col.  ([row] is the bdiv'd
+    block in the pivot column's row... see {!Sparse_lu} for orientation.) *)
+
+val matmul : t -> t -> int -> t
+
+val sub : t -> t -> int -> t
+
+val max_abs : t -> float
+
+val split_lu : t -> int -> t * t
+(** Extract (L with unit diagonal, U) from a factored block. *)

@@ -1,0 +1,214 @@
+type task =
+  | Lu0 of int
+  | Fwd of int * int
+  | Bdiv of int * int
+  | Bmod of int * int * int
+
+let task_to_string = function
+  | Lu0 k -> Printf.sprintf "lu0(%d)" k
+  | Fwd (k, j) -> Printf.sprintf "fwd(%d,%d)" k j
+  | Bdiv (i, k) -> Printf.sprintf "bdiv(%d,%d)" i k
+  | Bmod (i, j, k) -> Printf.sprintf "bmod(%d,%d,%d)" i j k
+
+let symbolic (m : Block_matrix.t) =
+  let nb = m.Block_matrix.nb in
+  let p = Array.init nb (fun i -> Array.init nb (fun j -> Block_matrix.present m i j)) in
+  for k = 0 to nb - 1 do
+    for i = k + 1 to nb - 1 do
+      for j = k + 1 to nb - 1 do
+        if p.(i).(k) && p.(k).(j) then p.(i).(j) <- true
+      done
+    done
+  done;
+  p
+
+let tasks (m : Block_matrix.t) =
+  let nb = m.Block_matrix.nb in
+  let p = symbolic m in
+  let acc = ref [] in
+  let push t = acc := t :: !acc in
+  for k = 0 to nb - 1 do
+    push (Lu0 k);
+    for j = k + 1 to nb - 1 do
+      if p.(k).(j) then push (Fwd (k, j))
+    done;
+    for i = k + 1 to nb - 1 do
+      if p.(i).(k) then push (Bdiv (i, k))
+    done;
+    for i = k + 1 to nb - 1 do
+      for j = k + 1 to nb - 1 do
+        if p.(i).(k) && p.(k).(j) then push (Bmod (i, j, k))
+      done
+    done
+  done;
+  List.rev !acc
+
+let dependencies (m : Block_matrix.t) =
+  let p = symbolic m in
+  let all = tasks m in
+  (* A task depends on the latest earlier writers of the blocks it
+     reads, plus the latest earlier writer of the block it updates. *)
+  ignore p;
+  let writers_of_block i j upto =
+    (* Latest task strictly before [upto] (in list order) writing block
+       (i,j).  Tasks are pairwise distinct, so structural equality
+       identifies the cutoff. *)
+    let rec scan acc = function
+      | [] -> acc
+      | t :: _ when t = upto -> acc
+      | t :: rest ->
+          let writes =
+            match t with
+            | Lu0 k -> (k, k)
+            | Fwd (k, j') -> (k, j')
+            | Bdiv (i', k) -> (i', k)
+            | Bmod (i', j', _) -> (i', j')
+          in
+          scan (if writes = (i, j) then Some t else acc) rest
+    in
+    scan None all
+  in
+  List.map
+    (fun t ->
+      let reads =
+        match t with
+        | Lu0 k -> [ (k, k) ]
+        | Fwd (k, j) -> [ (k, k); (k, j) ]
+        | Bdiv (i, k) -> [ (k, k); (i, k) ]
+        | Bmod (i, j, k) -> [ (i, k); (k, j); (i, j) ]
+      in
+      let deps = List.filter_map (fun (i, j) -> writers_of_block i j t) reads in
+      (t, List.sort_uniq compare deps))
+    all
+
+let run_task (m : Block_matrix.t) t =
+  let bs = m.Block_matrix.bs in
+  match t with
+  | Lu0 k -> begin
+      match Block_matrix.get m k k with
+      | Some d -> Dense_block.lu0 d bs
+      | None -> invalid_arg "Sparse_lu.run_task: missing diagonal block"
+    end
+  | Fwd (k, j) -> begin
+      match (Block_matrix.get m k k, Block_matrix.get m k j) with
+      | Some diag, Some b -> Dense_block.fwd ~diag b bs
+      | _ -> invalid_arg "Sparse_lu.run_task: missing block for fwd"
+    end
+  | Bdiv (i, k) -> begin
+      match (Block_matrix.get m k k, Block_matrix.get m i k) with
+      | Some diag, Some b -> Dense_block.bdiv ~diag b bs
+      | _ -> invalid_arg "Sparse_lu.run_task: missing block for bdiv"
+    end
+  | Bmod (i, j, k) -> begin
+      match (Block_matrix.get m i k, Block_matrix.get m k j) with
+      | Some row, Some col ->
+          let b = Block_matrix.ensure m i j in
+          Dense_block.bmod ~row ~col b bs
+      | _ -> invalid_arg "Sparse_lu.run_task: missing block for bmod"
+    end
+
+let factorize m =
+  let ts = tasks m in
+  List.iter (run_task m) ts;
+  List.length ts
+
+let reconstruct (m : Block_matrix.t) =
+  let nb = m.Block_matrix.nb and bs = m.Block_matrix.bs in
+  let out = Block_matrix.create ~nb ~bs in
+  let l_block i k =
+    if i = k then
+      Option.map (fun d -> fst (Dense_block.split_lu d bs)) (Block_matrix.get m i k)
+    else if i > k then Block_matrix.get m i k
+    else None
+  in
+  let u_block k j =
+    if k = j then
+      Option.map (fun d -> snd (Dense_block.split_lu d bs)) (Block_matrix.get m k j)
+    else if k < j then Block_matrix.get m k j
+    else None
+  in
+  for i = 0 to nb - 1 do
+    for j = 0 to nb - 1 do
+      let acc = ref None in
+      for k = 0 to min i j do
+        match (l_block i k, u_block k j) with
+        | Some l, Some u ->
+            let prod = Dense_block.matmul l u bs in
+            acc :=
+              Some
+                (match !acc with
+                | None -> prod
+                | Some a ->
+                    Array.iteri (fun idx x -> a.(idx) <- a.(idx) +. x) prod;
+                    a)
+        | _ -> ()
+      done;
+      match !acc with
+      | Some b -> Block_matrix.set out i j b
+      | None -> ()
+    done
+  done;
+  out
+
+let reconstruct_block (m : Block_matrix.t) i j =
+  let bs = m.Block_matrix.bs in
+  let l_block i k =
+    if i = k then Option.map (fun d -> fst (Dense_block.split_lu d bs)) (Block_matrix.get m i k)
+    else if i > k then Block_matrix.get m i k
+    else None
+  in
+  let u_block k j =
+    if k = j then Option.map (fun d -> snd (Dense_block.split_lu d bs)) (Block_matrix.get m k j)
+    else if k < j then Block_matrix.get m k j
+    else None
+  in
+  let acc = ref (Dense_block.create bs) in
+  for k = 0 to min i j do
+    match (l_block i k, u_block k j) with
+    | Some l, Some u ->
+        let prod = Dense_block.matmul l u bs in
+        Array.iteri (fun idx x -> !acc.(idx) <- !acc.(idx) +. x) prod
+    | _ -> ()
+  done;
+  !acc
+
+let scale_of original =
+  Array.fold_left
+    (fun acc b ->
+      match b with
+      | None -> acc
+      | Some blk -> Float.max acc (Dense_block.max_abs blk))
+    1.0 original.Block_matrix.blocks
+
+let sampled_residual ~seed ~samples ~original ~factored =
+  let nb = original.Block_matrix.nb and bs = original.Block_matrix.bs in
+  let rng = Agp_util.Rng.create seed in
+  let positions =
+    [ (0, 0); (nb - 1, nb - 1); (0, nb - 1); (nb - 1, 0) ]
+    @ List.init samples (fun _ -> (Agp_util.Rng.int rng nb, Agp_util.Rng.int rng nb))
+  in
+  let scale = scale_of original in
+  let worst = ref 0.0 in
+  List.iter
+    (fun (i, j) ->
+      let recon = reconstruct_block factored i j in
+      let orig =
+        match Block_matrix.get original i j with
+        | Some b -> b
+        | None -> Dense_block.create bs
+      in
+      worst := Float.max !worst (Dense_block.max_abs (Dense_block.sub orig recon bs)))
+    positions;
+  !worst /. scale
+
+let residual ~original ~factored =
+  let recon = reconstruct factored in
+  let scale =
+    Array.fold_left
+      (fun acc b ->
+        match b with
+        | None -> acc
+        | Some blk -> Float.max acc (Dense_block.max_abs blk))
+      1.0 original.Block_matrix.blocks
+  in
+  Block_matrix.max_abs_diff original recon /. scale

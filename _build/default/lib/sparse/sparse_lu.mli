@@ -1,0 +1,50 @@
+(** Blocked sparse LU factorization (BOTS sparselu) — the sequential
+    reference for COOR-LU, plus the static task DAG that the
+    coordinative accelerator schedules with rules.
+
+    The factorization overwrites the matrix: diagonal blocks hold their
+    LU factors, sub-diagonal blocks hold L, super-diagonal blocks hold
+    U.  Fill-in blocks are allocated on demand. *)
+
+type task =
+  | Lu0 of int  (** factor diagonal block [k] *)
+  | Fwd of int * int  (** [Fwd (k, j)], j > k: row block of pivot row *)
+  | Bdiv of int * int  (** [Bdiv (i, k)], i > k: column block of pivot column *)
+  | Bmod of int * int * int  (** [Bmod (i, j, k)]: trailing update by pivot [k] *)
+
+val task_to_string : task -> string
+
+val symbolic : Block_matrix.t -> bool array array
+(** Presence grid after symbolic factorization (fill-in propagated):
+    [ (symbolic m).(i).(j) ] is true when block (i,j) exists at some
+    point during numeric factorization. *)
+
+val tasks : Block_matrix.t -> task list
+(** The full static task list in sequential (k-major) order, derived
+    from the symbolic factorization — the well-ordered task sequence of
+    COOR-LU. *)
+
+val dependencies : Block_matrix.t -> (task * task list) list
+(** Each task paired with the earlier tasks it directly depends on —
+    the dependence edges the coordinative rules enforce at runtime. *)
+
+val run_task : Block_matrix.t -> task -> unit
+(** Execute one task's block kernel against the (mutable) matrix. *)
+
+val factorize : Block_matrix.t -> int
+(** In-place sequential factorization; returns the number of tasks
+    executed.  Equivalent to running {!tasks} in order. *)
+
+val reconstruct : Block_matrix.t -> Block_matrix.t
+(** Multiply the stored block factors back together: for a factored
+    matrix this reproduces the original (up to rounding). *)
+
+val residual : original:Block_matrix.t -> factored:Block_matrix.t -> float
+(** Max-abs difference between [original] and the reconstruction of
+    [factored], normalized by the largest original entry. *)
+
+val sampled_residual :
+  seed:int -> samples:int -> original:Block_matrix.t -> factored:Block_matrix.t -> float
+(** Like {!residual} but reconstructing only a random sample of block
+    positions (always including the corners), so large factorizations
+    can be validated in O(samples · nb · bs³). *)

@@ -1,0 +1,47 @@
+type t = {
+  words : int array;
+  n : int;
+}
+
+let bits_per_word = Sys.int_size
+
+let create n = { words = Array.make ((n / bits_per_word) + 1) 0; n }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x lsr 1) (acc + (x land 1)) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let intersects a b =
+  if a.n <> b.n then invalid_arg "Bitset.intersects: capacity mismatch";
+  let rec loop i =
+    i < Array.length a.words && (a.words.(i) land b.words.(i) <> 0 || loop (i + 1))
+  in
+  loop 0

@@ -1,0 +1,24 @@
+(** Fixed-capacity bit sets backed by an int array. *)
+
+type t
+
+val create : int -> t
+(** [create n] holds members in [\[0, n)], initially empty. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Visit members in increasing order. *)
+
+val intersects : t -> t -> bool
+(** True when the two sets (of equal capacity) share a member. *)

@@ -1,0 +1,36 @@
+let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  if Array.length values = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min values.(0) values in
+    let hi = Array.fold_left Float.max values.(0) values in
+    let buf = Buffer.create (3 * Array.length values) in
+    Array.iter
+      (fun v ->
+        let idx =
+          if hi = lo then 3
+          else begin
+            let t = (v -. lo) /. (hi -. lo) in
+            min 7 (max 0 (int_of_float (t *. 7.999)))
+          end
+        in
+        Buffer.add_string buf glyphs.(idx))
+      values;
+    Buffer.contents buf
+  end
+
+let series ?width rows =
+  let label_width =
+    match width with
+    | Some w -> w
+    | None -> List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  String.concat "\n"
+    (List.map
+       (fun (label, values) ->
+         Printf.sprintf "%-*s %s  (%.2f .. %.2f)" label_width label (sparkline values)
+           (Array.fold_left Float.min values.(0) values)
+           (Array.fold_left Float.max values.(0) values))
+       rows)

@@ -1,0 +1,10 @@
+(** Minimal terminal charts for experiment output: Unicode sparklines
+    for the Fig. 10 bandwidth curves. *)
+
+val sparkline : float array -> string
+(** Map values onto the eight block glyphs [▁▂▃▄▅▆▇█], scaled to the
+    array's own min/max (a constant series renders mid-height).  Empty
+    input yields the empty string. *)
+
+val series : ?width:int -> (string * float array) list -> string
+(** One labelled sparkline per row, labels padded to align. *)

@@ -1,0 +1,83 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+  bound : int option;
+}
+
+let create ?bound () = { data = Array.make 8 None; head = 0; len = 0; bound }
+
+let bound t = t.bound
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let is_full t =
+  match t.bound with
+  | None -> false
+  | Some b -> t.len >= b
+
+let grow t =
+  let cap = Array.length t.data in
+  let ndata = Array.make (cap * 2) None in
+  for i = 0 to t.len - 1 do
+    ndata.(i) <- t.data.((t.head + i) mod cap)
+  done;
+  t.data <- ndata;
+  t.head <- 0
+
+let push t x =
+  if is_full t then false
+  else begin
+    if t.len = Array.length t.data then grow t;
+    let cap = Array.length t.data in
+    t.data.((t.head + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1;
+    true
+  end
+
+let push_exn t x = if not (push t x) then failwith "Fifo.push_exn: full"
+
+let push_front t x =
+  if is_full t then false
+  else begin
+    if t.len = Array.length t.data then grow t;
+    let cap = Array.length t.data in
+    t.head <- (t.head + cap - 1) mod cap;
+    t.data.(t.head) <- Some x;
+    t.len <- t.len + 1;
+    true
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.data.(t.head) in
+    t.data.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.data;
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek t = if t.len = 0 then None else t.data.(t.head)
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let cap = Array.length t.data in
+  for i = 0 to t.len - 1 do
+    match t.data.((t.head + i) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)

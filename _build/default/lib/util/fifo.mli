@@ -1,0 +1,47 @@
+(** Ring-buffer FIFO queues, optionally bounded.
+
+    Used both by software worklists and by the hardware simulator, where a
+    bounded FIFO models a physical dual-port queue between pipeline
+    stages. *)
+
+type 'a t
+
+val create : ?bound:int -> unit -> 'a t
+(** [create ?bound ()] makes an empty queue.  When [bound] is given,
+    [push] fails once [length] reaches it; otherwise the queue grows. *)
+
+val bound : 'a t -> int option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+(** Always [false] for unbounded queues. *)
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues and returns [true], or returns [false] when the
+    queue is bounded and full (the element is dropped, as backpressure). *)
+
+val push_exn : 'a t -> 'a -> unit
+(** Like {!push} but raises [Failure] on a full queue. *)
+
+val push_front : 'a t -> 'a -> bool
+(** Enqueue at the head (the element becomes the next pop).  Returns
+    [false] when bounded and full. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue the oldest element. *)
+
+val peek : 'a t -> 'a option
+(** Oldest element without removal. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate oldest-first over current contents. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+(** Contents, oldest first. *)

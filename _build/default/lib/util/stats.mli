@@ -1,0 +1,33 @@
+(** Small statistics helpers for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 for the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation.
+    @raise Invalid_argument on an empty array. *)
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val sum : float array -> float
+
+type running
+(** Online accumulator (Welford). *)
+
+val running : unit -> running
+
+val observe : running -> float -> unit
+
+val running_count : running -> int
+
+val running_mean : running -> float
+
+val running_stddev : running -> float

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for experiment output.
+
+    Produces aligned, pipe-separated tables similar to the rows the paper
+    reports, suitable for terminals and for diffing in tests. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded; longer rows are rejected.
+    @raise Invalid_argument on too many cells. *)
+
+val render : t -> string
+(** Render with a header separator and aligned columns. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format helper: fixed-point with [decimals] (default 2). *)
+
+val cell_ratio : float -> string
+(** Format helper: a speedup such as ["1.9x"]. *)

@@ -1,0 +1,46 @@
+type t = {
+  parent : int array;
+  rank : int array;
+}
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let size t = Array.length t.parent
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    (* path halving *)
+    let gp = t.parent.(p) in
+    t.parent.(x) <- gp;
+    find t gp
+  end
+
+let find_trace t x =
+  let rec walk x acc =
+    let p = t.parent.(x) in
+    if p = x then (x, List.rev (x :: acc)) else walk p (x :: acc)
+  in
+  let root, trace = walk x [] in
+  ignore (find t x);
+  (root, trace)
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ra, rb = if t.rank.(ra) < t.rank.(rb) then (rb, ra) else (ra, rb) in
+    t.parent.(rb) <- ra;
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+
+let count_sets t =
+  let n = ref 0 in
+  for i = 0 to size t - 1 do
+    if t.parent.(i) = i then incr n
+  done;
+  !n

@@ -1,0 +1,29 @@
+(** Disjoint-set forests with union by rank and path halving.
+
+    The MST substrate and the SPEC-MST accelerator share this structure;
+    the accelerator version additionally meters the pointer chase (see
+    {!find_trace}). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val size : t -> int
+
+val find : t -> int -> int
+(** Representative of the set containing the element, with path halving. *)
+
+val find_trace : t -> int -> int * int list
+(** Like {!find} but also returns the list of parent slots read during the
+    chase (before compression), oldest first — used by the hardware model
+    to charge the walk through the memory system. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two sets; returns [false] when they were
+    already the same set. *)
+
+val same : t -> int -> int -> bool
+
+val count_sets : t -> int
+(** Number of distinct sets remaining. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Agp_apps Agp_core Agp_graph Alcotest Engine Format List Printf QCheck QCheck_alcotest Runtime Spec String

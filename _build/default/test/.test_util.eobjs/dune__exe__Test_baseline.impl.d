@@ -1,0 +1,1 @@
+test/test_baseline.ml: Agp_apps Agp_baseline Agp_exp Agp_graph Agp_hw Alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Agp_apps Agp_core Agp_graph Alcotest Array Engine Hashtbl Index Interp List Printf QCheck QCheck_alcotest Runtime Sequential Spec State String Value

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Agp_apps Agp_core Agp_dataflow Alcotest List String

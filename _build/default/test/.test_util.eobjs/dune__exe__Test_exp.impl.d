@@ -1,0 +1,1 @@
+test/test_exp.ml: Agp_apps Agp_core Agp_exp Alcotest List Result String

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Agp_geometry Agp_graph Alcotest Delaunay Float List Mesh Predicates QCheck QCheck_alcotest Refinement

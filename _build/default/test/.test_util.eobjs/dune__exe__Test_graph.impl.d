@@ -1,0 +1,1 @@
+test/test_graph.ml: Agp_graph Agp_util Alcotest Array Bfs Csr Dimacs Filename Fun Generator List Mst QCheck QCheck_alcotest Result Sssp Sys

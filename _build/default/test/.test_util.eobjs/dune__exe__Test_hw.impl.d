@@ -1,0 +1,1 @@
+test/test_hw.ml: Agp_apps Agp_core Agp_dataflow Agp_graph Agp_hw Alcotest Array List QCheck QCheck_alcotest String

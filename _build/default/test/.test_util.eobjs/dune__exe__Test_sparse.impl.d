@@ -1,0 +1,1 @@
+test/test_sparse.ml: Agp_sparse Agp_util Alcotest Array Block_matrix Dense_block Hashtbl List QCheck QCheck_alcotest Sparse_lu

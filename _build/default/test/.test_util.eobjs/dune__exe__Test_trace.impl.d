@@ -1,0 +1,1 @@
+test/test_trace.ml: Agp_apps Agp_core Agp_exp Alcotest Engine List Runtime Spec String

@@ -1,0 +1,1 @@
+test/test_util.ml: Agp_util Alcotest Array Bitset Chart Fifo Heap List QCheck QCheck_alcotest Rng Stats String Table Union_find Vec

@@ -1,0 +1,95 @@
+(* Tests for the software-baseline timing models. *)
+
+module Cpu_model = Agp_baseline.Cpu_model
+module Opencl_model = Agp_baseline.Opencl_model
+module Workloads = Agp_exp.Workloads
+
+let check = Alcotest.check
+
+let bfs_app () = Workloads.spec_bfs Workloads.Small ~seed:42
+
+let test_cpu_model_runs () =
+  let r = Cpu_model.run (bfs_app ()) in
+  check Alcotest.bool "positive 1-core time" true (r.Cpu_model.seconds_1core > 0.0);
+  check Alcotest.bool "positive 10-core time" true (r.Cpu_model.seconds_10core > 0.0);
+  check Alcotest.bool "tasks counted" true (r.Cpu_model.tasks > 100);
+  check Alcotest.bool "accesses traced" true (r.Cpu_model.accesses > r.Cpu_model.tasks)
+
+let test_cpu_model_parallel_faster () =
+  let r = Cpu_model.run (bfs_app ()) in
+  check Alcotest.bool "10 cores beat 1 core" true
+    (r.Cpu_model.seconds_10core < r.Cpu_model.seconds_1core);
+  check Alcotest.bool "but not superlinearly" true
+    (r.Cpu_model.seconds_1core /. r.Cpu_model.seconds_10core < 11.0)
+
+let test_cpu_model_deterministic () =
+  let a = Cpu_model.run (bfs_app ()) and b = Cpu_model.run (bfs_app ()) in
+  check (Alcotest.float 1e-12) "same 1-core" a.Cpu_model.seconds_1core b.Cpu_model.seconds_1core;
+  check (Alcotest.float 1e-12) "same 10-core" a.Cpu_model.seconds_10core
+    b.Cpu_model.seconds_10core
+
+let test_cpu_model_more_work_more_time () =
+  let small = Cpu_model.run (bfs_app ()) in
+  let bigger =
+    Cpu_model.run
+      (Agp_apps.Bfs_app.speculative
+         { graph = Agp_graph.Generator.road ~seed:42 ~width:80 ~height:50; root = 0 })
+  in
+  check Alcotest.bool "bigger graph costs more" true
+    (bigger.Cpu_model.seconds_1core > small.Cpu_model.seconds_1core)
+
+let test_cpu_model_l1_behaviour () =
+  let r = Cpu_model.run (bfs_app ()) in
+  check Alcotest.bool "l1 hit rate sane" true
+    (r.Cpu_model.l1_hit_rate > 0.1 && r.Cpu_model.l1_hit_rate <= 1.0)
+
+let test_opencl_rounds_follow_depth () =
+  let g = Agp_graph.Generator.road ~seed:3 ~width:30 ~height:10 in
+  let depth = Agp_graph.Bfs.diameter_from g 0 in
+  let r = Opencl_model.run_bfs g 0 in
+  check Alcotest.int "one round per level" (depth + 1) r.Opencl_model.rounds;
+  check Alcotest.int "two launches per round" (2 * r.Opencl_model.rounds)
+    r.Opencl_model.kernel_launches
+
+let test_opencl_dominated_by_rounds () =
+  (* Two graphs with equal vertex count: the deeper one must cost more
+     (host round trips dominate on high-diameter inputs — the Table 1
+     mechanism). *)
+  let deep = Agp_graph.Generator.road ~seed:4 ~width:300 ~height:2 in
+  let shallow = Agp_graph.Generator.random ~seed:4 ~n:600 ~m:1800 in
+  let rd = Opencl_model.run_bfs deep 0 and rs = Opencl_model.run_bfs shallow 0 in
+  check Alcotest.bool "deep graph slower" true (rd.Opencl_model.seconds > rs.Opencl_model.seconds)
+
+let test_opencl_vs_accelerator_gap () =
+  (* the Table 1 claim at test scale: the OpenCL model is at least an
+     order of magnitude behind the generated accelerator *)
+  let g = Workloads.bfs_graph Workloads.Small ~seed:42 in
+  let opencl = Opencl_model.run_bfs g 0 in
+  let app = Workloads.spec_bfs Workloads.Small ~seed:42 in
+  let run = app.Agp_apps.App_instance.fresh () in
+  let hw =
+    Agp_hw.Accelerator.run ~spec:app.Agp_apps.App_instance.spec
+      ~bindings:run.Agp_apps.App_instance.bindings ~state:run.Agp_apps.App_instance.state
+      ~initial:run.Agp_apps.App_instance.initial ()
+  in
+  check Alcotest.bool "at least 10x gap" true
+    (opencl.Opencl_model.seconds /. hw.Agp_hw.Accelerator.seconds > 10.0)
+
+let () =
+  Alcotest.run "agp_baseline"
+    [
+      ( "cpu_model",
+        [
+          Alcotest.test_case "runs" `Quick test_cpu_model_runs;
+          Alcotest.test_case "parallel faster" `Quick test_cpu_model_parallel_faster;
+          Alcotest.test_case "deterministic" `Quick test_cpu_model_deterministic;
+          Alcotest.test_case "monotone in work" `Quick test_cpu_model_more_work_more_time;
+          Alcotest.test_case "l1 behaviour" `Quick test_cpu_model_l1_behaviour;
+        ] );
+      ( "opencl_model",
+        [
+          Alcotest.test_case "rounds follow depth" `Quick test_opencl_rounds_follow_depth;
+          Alcotest.test_case "dominated by rounds" `Quick test_opencl_dominated_by_rounds;
+          Alcotest.test_case "gap vs accelerator" `Quick test_opencl_vs_accelerator_gap;
+        ] );
+    ]

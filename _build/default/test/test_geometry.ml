@@ -1,0 +1,297 @@
+(* Unit and property tests for the Delaunay mesh substrate. *)
+
+open Agp_geometry
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let feq = Alcotest.float 1e-6
+
+(* --- predicates --- *)
+
+let test_orient2d () =
+  check Alcotest.bool "ccw" true (Predicates.ccw (0.0, 0.0) (1.0, 0.0) (0.0, 1.0));
+  check Alcotest.bool "cw" false (Predicates.ccw (0.0, 0.0) (0.0, 1.0) (1.0, 0.0));
+  check feq "collinear" 0.0 (Predicates.orient2d (0.0, 0.0) (1.0, 1.0) (2.0, 2.0))
+
+let test_in_circle () =
+  let a = (0.0, 0.0) and b = (2.0, 0.0) and c = (0.0, 2.0) in
+  check Alcotest.bool "center inside" true (Predicates.in_circle a b c (1.0, 1.0));
+  check Alcotest.bool "far point outside" false (Predicates.in_circle a b c (10.0, 10.0));
+  check Alcotest.bool "on circle is not inside" false (Predicates.in_circle a b c (2.0, 2.0))
+
+let test_circumcenter () =
+  let cx, cy = Predicates.circumcenter (0.0, 0.0) (2.0, 0.0) (0.0, 2.0) in
+  check feq "cx" 1.0 cx;
+  check feq "cy" 1.0 cy;
+  check feq "radius" (sqrt 2.0) (Predicates.circumradius (0.0, 0.0) (2.0, 0.0) (0.0, 2.0))
+
+let test_angles_and_area () =
+  let a = (0.0, 0.0) and b = (1.0, 0.0) and c = (0.0, 1.0) in
+  check feq "right isoceles min angle" 45.0 (Predicates.triangle_min_angle a b c);
+  check feq "area" 0.5 (Predicates.triangle_area a b c);
+  check feq "shortest edge" 1.0 (Predicates.shortest_edge a b c)
+
+let test_equilateral_angle () =
+  let a = (0.0, 0.0) and b = (1.0, 0.0) and c = (0.5, sqrt 3.0 /. 2.0) in
+  check (Alcotest.float 1e-4) "equilateral 60" 60.0 (Predicates.triangle_min_angle a b c)
+
+let prop_orient_antisymmetric =
+  QCheck.Test.make ~name:"orient2d antisymmetric under swap" ~count:300
+    QCheck.(triple (pair (float_range 0. 10.) (float_range 0. 10.))
+              (pair (float_range 0. 10.) (float_range 0. 10.))
+              (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun (a, b, c) ->
+      let o1 = Predicates.orient2d a b c and o2 = Predicates.orient2d a c b in
+      (o1 = 0.0 && o2 = 0.0) || (o1 > 0.0) <> (o2 > 0.0))
+
+let prop_circumcenter_equidistant =
+  QCheck.Test.make ~name:"circumcenter equidistant from corners" ~count:200
+    QCheck.(triple (pair (float_range 0. 10.) (float_range 0. 10.))
+              (pair (float_range 0. 10.) (float_range 0. 10.))
+              (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun (a, b, c) ->
+      QCheck.assume (Float.abs (Predicates.orient2d a b c) > 0.5);
+      let o = Predicates.circumcenter a b c in
+      let da = Predicates.dist o a and db = Predicates.dist o b and dc = Predicates.dist o c in
+      Float.abs (da -. db) < 1e-6 && Float.abs (da -. dc) < 1e-6)
+
+(* --- mesh --- *)
+
+let ok_result = Alcotest.result Alcotest.unit Alcotest.string
+
+let two_triangle_mesh () =
+  (* A unit square split along the diagonal. *)
+  let m = Mesh.create [| (0.0, 0.0); (1.0, 0.0); (1.0, 1.0); (0.0, 1.0) |] in
+  let t0 = Mesh.add_triangle m 0 1 2 in
+  let t1 = Mesh.add_triangle m 0 2 3 in
+  Mesh.link m t0 t1;
+  (m, t0, t1)
+
+let test_mesh_ccw_normalization () =
+  let m = Mesh.create [| (0.0, 0.0); (1.0, 0.0); (0.0, 1.0) |] in
+  (* Given clockwise, stored counter-clockwise. *)
+  let t = Mesh.add_triangle m 0 2 1 in
+  let a, b, c = Mesh.vertices m t in
+  check Alcotest.bool "ccw stored" true
+    (Predicates.ccw (Mesh.point m a) (Mesh.point m b) (Mesh.point m c))
+
+let test_mesh_link_symmetric () =
+  let m, t0, t1 = two_triangle_mesh () in
+  check ok_result "valid" (Ok ()) (Mesh.validate m);
+  let k0 = Mesh.opposite_index m t0 t1 in
+  let k1 = Mesh.opposite_index m t1 t0 in
+  check Alcotest.int "t0 sees t1" t1 (Mesh.neighbor m t0 k0);
+  check Alcotest.int "t1 sees t0" t0 (Mesh.neighbor m t1 k1)
+
+let test_mesh_link_rejects_disjoint () =
+  let m = Mesh.create [| (0.0, 0.0); (1.0, 0.0); (0.0, 1.0); (5.0, 5.0); (6.0, 5.0); (5.0, 6.0) |] in
+  let t0 = Mesh.add_triangle m 0 1 2 in
+  let t1 = Mesh.add_triangle m 3 4 5 in
+  Alcotest.check_raises "no shared edge" (Invalid_argument "Mesh.link: triangles share no edge")
+    (fun () -> Mesh.link m t0 t1)
+
+let test_mesh_kill () =
+  let m, t0, _ = two_triangle_mesh () in
+  Mesh.kill m t0;
+  check Alcotest.bool "dead" false (Mesh.alive m t0);
+  check Alcotest.int "one live" 1 (Mesh.num_live m)
+
+let test_mesh_contains () =
+  let m, t0, t1 = two_triangle_mesh () in
+  check Alcotest.bool "inside t0" true (Mesh.contains m t0 (0.7, 0.2));
+  check Alcotest.bool "not inside t0" false (Mesh.contains m t0 (0.2, 0.7));
+  check Alcotest.bool "inside t1" true (Mesh.contains m t1 (0.2, 0.7))
+
+(* --- delaunay --- *)
+
+let random_points seed n =
+  Agp_graph.Generator.points ~seed ~n ~span:100.0
+
+let test_triangulate_small () =
+  let t = Delaunay.triangulate (random_points 1 30) in
+  check ok_result "mesh valid" (Ok ()) (Mesh.validate t.Delaunay.mesh);
+  check Alcotest.int "no violations" 0 (Delaunay.delaunay_violations t)
+
+let test_triangulate_euler () =
+  (* With the bounding square retained, every input point is interior,
+     so the triangulation of n+4 points has exactly 2*(n+4) - 2 - 4 =
+     2n+2 triangles (Euler's formula with a 4-vertex hull). *)
+  let n = 40 in
+  let t = Delaunay.triangulate (random_points 2 n) in
+  check Alcotest.int "euler count" ((2 * n) + 2) (Mesh.num_live t.Delaunay.mesh)
+
+let test_locate_finds_containing () =
+  let t = Delaunay.triangulate (random_points 3 50) in
+  let mesh = t.Delaunay.mesh in
+  let hint = List.hd (Mesh.live_triangles mesh) in
+  List.iter
+    (fun p ->
+      match Delaunay.locate mesh ~hint p with
+      | None -> Alcotest.fail "point not located"
+      | Some tri -> check Alcotest.bool "contains" true (Mesh.contains mesh tri p))
+    [ (10.0, 10.0); (50.0, 50.0); (90.0, 5.0) ]
+
+let test_locate_outside () =
+  let t = Delaunay.triangulate (random_points 4 10) in
+  let mesh = t.Delaunay.mesh in
+  let hint = List.hd (Mesh.live_triangles mesh) in
+  check Alcotest.bool "far point escapes hull" true
+    (Delaunay.locate mesh ~hint (1.0e7, 1.0e7) = None)
+
+let test_insert_point_updates () =
+  let t = Delaunay.triangulate (random_points 5 20) in
+  let mesh = t.Delaunay.mesh in
+  let before = Mesh.num_live mesh in
+  let hint = List.hd (Mesh.live_triangles mesh) in
+  match Delaunay.insert_point mesh ~hint (42.0, 43.0) with
+  | None -> Alcotest.fail "insert failed"
+  | Some (_, killed, created) ->
+      check Alcotest.bool "cavity nonempty" true (List.length killed >= 1);
+      (* Star retriangulation: k cavity triangles are replaced by k+2. *)
+      check Alcotest.int "created = killed + 2" (List.length killed + 2) (List.length created);
+      check Alcotest.int "net +2" (before + 2) (Mesh.num_live mesh);
+      check ok_result "still valid" (Ok ()) (Mesh.validate mesh)
+
+let prop_triangulation_valid_delaunay =
+  QCheck.Test.make ~name:"random triangulations are valid delaunay" ~count:15
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let n = 10 + (seed mod 40) in
+      let t = Delaunay.triangulate (random_points seed n) in
+      Mesh.validate t.Delaunay.mesh = Ok () && Delaunay.delaunay_violations t = 0)
+
+(* --- refinement --- *)
+
+let test_refinement_removes_bad () =
+  let t = Delaunay.triangulate (random_points 6 60) in
+  let cfg = Refinement.default_config in
+  let before = List.length (Refinement.bad_triangles cfg t) in
+  check Alcotest.bool "has bad triangles initially" true (before > 0);
+  let stats = Refinement.refine_with_stats cfg t in
+  check Alcotest.int "initial count recorded" before stats.Refinement.initial_bad;
+  check (Alcotest.list Alcotest.int) "no bad triangles remain" [] (Refinement.bad_triangles cfg t);
+  check ok_result "mesh still valid" (Ok ()) (Mesh.validate t.Delaunay.mesh);
+  check Alcotest.bool "quality bound reached" true
+    (stats.Refinement.min_angle_after >= cfg.Refinement.min_angle)
+
+let test_refine_one_skips_good () =
+  let t = Delaunay.triangulate (random_points 7 30) in
+  let cfg = Refinement.default_config in
+  let good =
+    List.find
+      (fun tri -> not (Refinement.is_bad cfg t tri))
+      (Mesh.live_triangles t.Delaunay.mesh)
+  in
+  check Alcotest.bool "good triangle not refined" true (Refinement.refine_one cfg t good = None)
+
+let test_refine_one_step_shape () =
+  let t = Delaunay.triangulate (random_points 8 60) in
+  let cfg = Refinement.default_config in
+  match Refinement.bad_triangles cfg t with
+  | [] -> Alcotest.fail "expected a bad triangle"
+  | tri :: _ -> begin
+      match Refinement.refine_one cfg t tri with
+      | None -> Alcotest.fail "refinement step failed"
+      | Some step ->
+          check Alcotest.bool "victim killed" false (Mesh.alive t.Delaunay.mesh tri);
+          check Alcotest.bool "cavity contains victim" true (List.mem tri step.Refinement.killed);
+          (* Interior circumcenter insertions replace k cavity triangles
+             with k+2; boundary fallbacks may differ, but always create
+             at least one triangle per kill. *)
+          check Alcotest.bool "star shape" true
+            (List.length step.Refinement.created >= List.length step.Refinement.killed + 1)
+    end
+
+let total_live_area (t : Delaunay.t) =
+  List.fold_left
+    (fun acc tri ->
+      let a, b, c = Mesh.vertices t.Delaunay.mesh tri in
+      acc
+      +. Predicates.triangle_area (Mesh.point t.Delaunay.mesh a) (Mesh.point t.Delaunay.mesh b)
+           (Mesh.point t.Delaunay.mesh c))
+    0.0
+    (Mesh.live_triangles t.Delaunay.mesh)
+
+let enclosure_area (t : Delaunay.t) =
+  match t.Delaunay.enclosure with
+  | [ a; _; c; _ ] ->
+      let ax, ay = Mesh.point t.Delaunay.mesh a and cx, cy = Mesh.point t.Delaunay.mesh c in
+      Float.abs ((cx -. ax) *. (cy -. ay))
+  | _ -> Alcotest.fail "expected four enclosure corners"
+
+let test_area_conserved_by_triangulation () =
+  let t = Delaunay.triangulate (random_points 21 50) in
+  let rel = Float.abs (total_live_area t -. enclosure_area t) /. enclosure_area t in
+  check Alcotest.bool "triangles tile the square" true (rel < 1e-8)
+
+let prop_area_conserved_by_refinement =
+  (* every cavity retriangulation replaces a region with a retiling of
+     the same region: total live area is invariant *)
+  QCheck.Test.make ~name:"refinement conserves total area" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let t = Delaunay.triangulate (random_points seed 40) in
+      let before = total_live_area t in
+      ignore (Refinement.refine Refinement.default_config t);
+      Float.abs (total_live_area t -. before) /. before < 1e-6)
+
+let prop_refinement_monotone_triangles =
+  QCheck.Test.make ~name:"refinement only adds triangles" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let t = Delaunay.triangulate (random_points seed 30) in
+      let before = Mesh.num_live t.Delaunay.mesh in
+      ignore (Refinement.refine Refinement.default_config t);
+      Mesh.num_live t.Delaunay.mesh >= before)
+
+let prop_refinement_terminates_clean =
+  QCheck.Test.make ~name:"refinement reaches zero bad triangles" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let t = Delaunay.triangulate (random_points seed 40) in
+      let cfg = Refinement.default_config in
+      ignore (Refinement.refine cfg t);
+      Refinement.bad_triangles cfg t = [] && Mesh.validate t.Delaunay.mesh = Ok ())
+
+let () =
+  Alcotest.run "agp_geometry"
+    [
+      ( "predicates",
+        [
+          Alcotest.test_case "orient2d" `Quick test_orient2d;
+          Alcotest.test_case "in_circle" `Quick test_in_circle;
+          Alcotest.test_case "circumcenter" `Quick test_circumcenter;
+          Alcotest.test_case "angles and area" `Quick test_angles_and_area;
+          Alcotest.test_case "equilateral" `Quick test_equilateral_angle;
+          qtest prop_orient_antisymmetric;
+          qtest prop_circumcenter_equidistant;
+        ] );
+      ( "mesh",
+        [
+          Alcotest.test_case "ccw normalization" `Quick test_mesh_ccw_normalization;
+          Alcotest.test_case "link symmetric" `Quick test_mesh_link_symmetric;
+          Alcotest.test_case "link rejects disjoint" `Quick test_mesh_link_rejects_disjoint;
+          Alcotest.test_case "kill" `Quick test_mesh_kill;
+          Alcotest.test_case "contains" `Quick test_mesh_contains;
+        ] );
+      ( "delaunay",
+        [
+          Alcotest.test_case "triangulate small" `Quick test_triangulate_small;
+          Alcotest.test_case "euler count" `Quick test_triangulate_euler;
+          Alcotest.test_case "locate containing" `Quick test_locate_finds_containing;
+          Alcotest.test_case "locate outside" `Quick test_locate_outside;
+          Alcotest.test_case "insert point" `Quick test_insert_point_updates;
+          qtest prop_triangulation_valid_delaunay;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "removes bad triangles" `Quick test_refinement_removes_bad;
+          Alcotest.test_case "area conserved by triangulation" `Quick
+            test_area_conserved_by_triangulation;
+          qtest prop_area_conserved_by_refinement;
+          qtest prop_refinement_monotone_triangles;
+          Alcotest.test_case "skips good" `Quick test_refine_one_skips_good;
+          Alcotest.test_case "step shape" `Quick test_refine_one_step_shape;
+          qtest prop_refinement_terminates_clean;
+        ] );
+    ]

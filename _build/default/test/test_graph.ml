@@ -1,0 +1,301 @@
+(* Unit and property tests for the graph substrate. *)
+
+open Agp_graph
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let ok_result = Alcotest.result Alcotest.unit Alcotest.string
+
+let triangle_graph () = Csr.of_edges ~n:3 [ (0, 1, 1); (1, 2, 1); (0, 2, 5) ]
+
+(* The 6-vertex example graph of the paper's Figure 2(a): a small tree
+   with a cross edge, reused by the schedule-diagram experiment. *)
+let figure2_graph () =
+  Csr.of_edges ~n:6 [ (0, 1, 1); (0, 2, 1); (1, 3, 1); (2, 4, 1); (3, 5, 1); (2, 3, 1) ]
+
+(* --- Csr --- *)
+
+let test_csr_shape () =
+  let g = triangle_graph () in
+  check Alcotest.int "n" 3 g.Csr.n;
+  check Alcotest.int "m (undirected doubles)" 6 g.Csr.m;
+  check Alcotest.int "degree 0" 2 (Csr.degree g 0);
+  check Alcotest.int "max degree" 2 (Csr.max_degree g)
+
+let test_csr_neighbors_sorted () =
+  let g = figure2_graph () in
+  let ns = Csr.fold_neighbors g 2 (fun acc dst _ -> dst :: acc) [] |> List.rev in
+  check (Alcotest.list Alcotest.int) "sorted neighbors" [ 0; 3; 4 ] ns
+
+let test_csr_directed () =
+  let g = Csr.of_edges ~directed:true ~n:3 [ (0, 1, 7) ] in
+  check Alcotest.int "one arc" 1 g.Csr.m;
+  check Alcotest.int "deg 1 is 0" 0 (Csr.degree g 1)
+
+let test_csr_symmetric () =
+  check Alcotest.bool "undirected symmetric" true (Csr.is_symmetric (figure2_graph ()));
+  let d = Csr.of_edges ~directed:true ~n:2 [ (0, 1, 1) ] in
+  check Alcotest.bool "directed asymmetric" false (Csr.is_symmetric d)
+
+let test_csr_validate () =
+  check ok_result "valid graph" (Ok ()) (Csr.validate (figure2_graph ()));
+  let broken = { (triangle_graph ()) with Csr.m = 5 } in
+  check Alcotest.bool "broken rejected" true (Result.is_error (Csr.validate broken))
+
+let test_csr_out_of_range () =
+  Alcotest.check_raises "oob edge" (Invalid_argument "Csr.of_edges: vertex out of range")
+    (fun () -> ignore (Csr.of_edges ~n:2 [ (0, 5, 1) ]))
+
+let test_csr_undirected_edges () =
+  let g = triangle_graph () in
+  check Alcotest.int "3 undirected edges" 3 (List.length (Csr.undirected_edges g))
+
+(* --- generators --- *)
+
+let test_road_connected () =
+  let g = Generator.road ~seed:1 ~width:20 ~height:15 in
+  check ok_result "valid" (Ok ()) (Csr.validate g);
+  let lv = Bfs.levels g 0 in
+  Array.iteri
+    (fun v l -> if l = Bfs.infinity_level then Alcotest.failf "vertex %d unreachable" v)
+    lv
+
+let test_road_high_diameter () =
+  let g = Generator.road ~seed:2 ~width:40 ~height:40 in
+  let d = Bfs.diameter_from g 0 in
+  check Alcotest.bool "diameter at least width" true (d >= 40)
+
+let test_road_low_degree () =
+  let g = Generator.road ~seed:3 ~width:30 ~height:30 in
+  check Alcotest.bool "road degree small" true (Csr.max_degree g <= 8)
+
+let test_random_connected () =
+  let g = Generator.random ~seed:4 ~n:200 ~m:500 in
+  check ok_result "valid" (Ok ()) (Csr.validate g);
+  let lv = Bfs.levels g 0 in
+  Array.iter (fun l -> if l = Bfs.infinity_level then Alcotest.fail "unreachable") lv
+
+let test_rmat_skewed () =
+  let g = Generator.rmat ~seed:5 ~scale:9 ~edge_factor:8 in
+  check ok_result "valid" (Ok ()) (Csr.validate g);
+  (* Power-law-ish: max degree far above average. *)
+  let avg = float_of_int g.Csr.m /. float_of_int g.Csr.n in
+  check Alcotest.bool "skewed degrees" true (float_of_int (Csr.max_degree g) > 4.0 *. avg)
+
+let prop_generators_deterministic =
+  QCheck.Test.make ~name:"generators deterministic per seed" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let a = Generator.random ~seed ~n:50 ~m:120 in
+      let b = Generator.random ~seed ~n:50 ~m:120 in
+      Csr.edges a = Csr.edges b)
+
+(* --- dimacs --- *)
+
+let test_dimacs_roundtrip () =
+  let g = Generator.random ~seed:6 ~n:40 ~m:80 in
+  match Dimacs.parse (Dimacs.to_string g) with
+  | Error e -> Alcotest.fail e
+  | Ok g' ->
+      check Alcotest.int "n" g.Csr.n g'.Csr.n;
+      check Alcotest.int "m" g.Csr.m g'.Csr.m;
+      check Alcotest.bool "same edges" true (Csr.edges g = Csr.edges g')
+
+let test_dimacs_rejects_garbage () =
+  check Alcotest.bool "bad line" true (Result.is_error (Dimacs.parse "hello world"));
+  check Alcotest.bool "missing p" true (Result.is_error (Dimacs.parse "a 1 2 3"));
+  check Alcotest.bool "count mismatch" true
+    (Result.is_error (Dimacs.parse "p sp 3 2\na 1 2 5"))
+
+let test_dimacs_file_roundtrip () =
+  let g = Generator.road ~seed:17 ~width:8 ~height:6 in
+  let path = Filename.temp_file "agp" ".gr" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dimacs.write_file path g;
+      match Dimacs.read_file path with
+      | Error e -> Alcotest.fail e
+      | Ok g' -> check Alcotest.bool "file roundtrip" true (Csr.edges g = Csr.edges g'))
+
+let test_dimacs_missing_file () =
+  check Alcotest.bool "missing file is an error" true
+    (Result.is_error (Dimacs.read_file "/nonexistent/path.gr"))
+
+let test_dimacs_comments_ok () =
+  let input = "c hi\np sp 2 1\na 1 2 9" in
+  match Dimacs.parse input with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      check Alcotest.int "n" 2 g.Csr.n;
+      check Alcotest.int "weight read" 9 g.Csr.weight.(0)
+
+(* --- bfs --- *)
+
+let test_bfs_figure2 () =
+  let g = figure2_graph () in
+  let lv = Bfs.levels g 0 in
+  check (Alcotest.array Alcotest.int) "levels" [| 0; 1; 1; 2; 2; 3 |] lv
+
+let test_bfs_unreachable () =
+  let g = Csr.of_edges ~n:4 [ (0, 1, 1); (2, 3, 1) ] in
+  let lv = Bfs.levels g 0 in
+  check Alcotest.int "reached" 1 lv.(1);
+  check Alcotest.int "unreached" Bfs.infinity_level lv.(2)
+
+let test_bfs_histogram () =
+  let g = figure2_graph () in
+  let h = Bfs.level_histogram (Bfs.levels g 0) in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "histogram"
+    [ (0, 1); (1, 2); (2, 2); (3, 1) ]
+    h
+
+let test_bfs_check_accepts_reference () =
+  let g = Generator.road ~seed:7 ~width:12 ~height:9 in
+  check ok_result "reference accepted" (Ok ()) (Bfs.check_levels g 0 (Bfs.levels g 0))
+
+let test_bfs_check_rejects_wrong () =
+  let g = figure2_graph () in
+  let lv = Bfs.levels g 0 in
+  lv.(5) <- 1;
+  check Alcotest.bool "rejects corrupted" true (Result.is_error (Bfs.check_levels g 0 lv))
+
+let prop_bfs_levels_edge_slack =
+  QCheck.Test.make ~name:"bfs adjacent levels differ by <=1" ~count:50
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let g = Generator.random ~seed ~n:60 ~m:150 in
+      let lv = Bfs.levels g 0 in
+      List.for_all (fun (u, v, _) -> abs (lv.(u) - lv.(v)) <= 1) (Csr.edges g))
+
+(* --- sssp --- *)
+
+let test_dijkstra_triangle () =
+  let g = triangle_graph () in
+  let d = Sssp.dijkstra g 0 in
+  check (Alcotest.array Alcotest.int) "distances" [| 0; 1; 2 |] d
+
+let test_bellman_ford_matches_dijkstra () =
+  let g = Generator.random ~seed:8 ~n:120 ~m:400 in
+  let d1 = Sssp.dijkstra g 0 in
+  let d2, tasks = Sssp.bellman_ford g 0 in
+  check (Alcotest.array Alcotest.int) "same distances" d1 d2;
+  check Alcotest.bool "worklist did work" true (tasks >= g.Csr.n)
+
+let test_sssp_check_accepts () =
+  let g = Generator.road ~seed:9 ~width:10 ~height:10 in
+  check ok_result "certificate ok" (Ok ()) (Sssp.check_distances g 0 (Sssp.dijkstra g 0))
+
+let test_sssp_check_rejects () =
+  let g = triangle_graph () in
+  let d = Sssp.dijkstra g 0 in
+  d.(2) <- 7;
+  check Alcotest.bool "rejects" true (Result.is_error (Sssp.check_distances g 0 d))
+
+let prop_sssp_dijkstra_bellman_agree =
+  QCheck.Test.make ~name:"dijkstra and bellman-ford agree" ~count:30
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let g = Generator.random ~seed ~n:50 ~m:130 in
+      Sssp.dijkstra g 0 = fst (Sssp.bellman_ford g 0))
+
+(* --- mst --- *)
+
+let test_mst_triangle () =
+  let r = Mst.kruskal (triangle_graph ()) in
+  check Alcotest.int "weight" 2 r.Mst.weight;
+  check Alcotest.int "edges" 2 (List.length r.Mst.edges);
+  check Alcotest.int "spanning" 1 r.Mst.components
+
+let test_mst_sorted_edges () =
+  let edges = Mst.sorted_edges (triangle_graph ()) in
+  let weights = Array.to_list (Array.map (fun (_, _, w) -> w) edges) in
+  check (Alcotest.list Alcotest.int) "ascending" [ 1; 1; 5 ] weights
+
+let test_mst_check_accepts () =
+  let g = Generator.random ~seed:10 ~n:80 ~m:200 in
+  check ok_result "self check" (Ok ()) (Mst.check g (Mst.kruskal g))
+
+let test_mst_check_rejects_cycle () =
+  let g = triangle_graph () in
+  let bogus = { (Mst.kruskal g) with Mst.edges = [ (0, 1, 1); (1, 2, 1); (0, 2, 5) ] } in
+  check Alcotest.bool "cycle rejected" true (Result.is_error (Mst.check g bogus))
+
+let test_mst_disconnected () =
+  let g = Csr.of_edges ~n:4 [ (0, 1, 2); (2, 3, 3) ] in
+  let r = Mst.kruskal g in
+  check Alcotest.int "forest edges" 2 (List.length r.Mst.edges);
+  check Alcotest.int "components" 2 r.Mst.components
+
+let prop_mst_weight_leq_any_tree =
+  QCheck.Test.make ~name:"kruskal weight minimal vs random spanning tree" ~count:30
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let g = Generator.random ~seed ~n:30 ~m:70 in
+      let mst = Mst.kruskal g in
+      (* Build some spanning tree greedily in arbitrary edge order. *)
+      let uf = Agp_util.Union_find.create g.Csr.n in
+      let w = ref 0 in
+      List.iter
+        (fun (u, v, ew) -> if Agp_util.Union_find.union uf u v then w := !w + ew)
+        (Csr.undirected_edges g);
+      mst.Mst.weight <= !w)
+
+let () =
+  Alcotest.run "agp_graph"
+    [
+      ( "csr",
+        [
+          Alcotest.test_case "shape" `Quick test_csr_shape;
+          Alcotest.test_case "neighbors sorted" `Quick test_csr_neighbors_sorted;
+          Alcotest.test_case "directed" `Quick test_csr_directed;
+          Alcotest.test_case "symmetry" `Quick test_csr_symmetric;
+          Alcotest.test_case "validate" `Quick test_csr_validate;
+          Alcotest.test_case "out of range" `Quick test_csr_out_of_range;
+          Alcotest.test_case "undirected edges" `Quick test_csr_undirected_edges;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "road connected" `Quick test_road_connected;
+          Alcotest.test_case "road high diameter" `Quick test_road_high_diameter;
+          Alcotest.test_case "road low degree" `Quick test_road_low_degree;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "rmat skewed" `Quick test_rmat_skewed;
+          qtest prop_generators_deterministic;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_dimacs_rejects_garbage;
+          Alcotest.test_case "comments ok" `Quick test_dimacs_comments_ok;
+          Alcotest.test_case "file roundtrip" `Quick test_dimacs_file_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_dimacs_missing_file;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "figure-2 levels" `Quick test_bfs_figure2;
+          Alcotest.test_case "unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "histogram" `Quick test_bfs_histogram;
+          Alcotest.test_case "check accepts reference" `Quick test_bfs_check_accepts_reference;
+          Alcotest.test_case "check rejects wrong" `Quick test_bfs_check_rejects_wrong;
+          qtest prop_bfs_levels_edge_slack;
+        ] );
+      ( "sssp",
+        [
+          Alcotest.test_case "dijkstra triangle" `Quick test_dijkstra_triangle;
+          Alcotest.test_case "bellman-ford matches" `Quick test_bellman_ford_matches_dijkstra;
+          Alcotest.test_case "certificate accepts" `Quick test_sssp_check_accepts;
+          Alcotest.test_case "certificate rejects" `Quick test_sssp_check_rejects;
+          qtest prop_sssp_dijkstra_bellman_agree;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "triangle" `Quick test_mst_triangle;
+          Alcotest.test_case "sorted edges" `Quick test_mst_sorted_edges;
+          Alcotest.test_case "check accepts" `Quick test_mst_check_accepts;
+          Alcotest.test_case "check rejects cycle" `Quick test_mst_check_rejects_cycle;
+          Alcotest.test_case "disconnected forest" `Quick test_mst_disconnected;
+          qtest prop_mst_weight_leq_any_tree;
+        ] );
+    ]

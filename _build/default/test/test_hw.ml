@@ -1,0 +1,383 @@
+(* Tests for the dataflow IR and the cycle-level accelerator model. *)
+
+module Bdfg = Agp_dataflow.Bdfg
+module Config = Agp_hw.Config
+module Memory = Agp_hw.Memory
+module Resource = Agp_hw.Resource
+module Accelerator = Agp_hw.Accelerator
+module App_instance = Agp_apps.App_instance
+module Bfs_app = Agp_apps.Bfs_app
+module Sssp_app = Agp_apps.Sssp_app
+module Mst_app = Agp_apps.Mst_app
+module Dmr_app = Agp_apps.Dmr_app
+module Lu_app = Agp_apps.Lu_app
+
+let check = Alcotest.check
+let ok_result = Alcotest.result Alcotest.unit Alcotest.string
+
+(* --- BDFG --- *)
+
+let all_specs =
+  [
+    Bfs_app.spec_speculative;
+    Bfs_app.spec_coordinative;
+    Sssp_app.spec_speculative;
+    Mst_app.spec_speculative;
+    Dmr_app.spec_speculative;
+    Lu_app.spec_coordinative;
+  ]
+
+let test_bdfg_compiles_all () =
+  List.iter
+    (fun sp ->
+      let g = Bdfg.of_spec sp in
+      match Bdfg.validate g with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" sp.Agp_core.Spec.spec_name e)
+    all_specs
+
+let test_bdfg_structure_bfs () =
+  let g = Bdfg.of_spec Bfs_app.spec_speculative in
+  let update = Bdfg.actors_of_set g "update" in
+  let has kind = List.exists (fun a -> a.Bdfg.kind = kind) update in
+  check Alcotest.bool "has entry" true (has Bdfg.Entry);
+  check Alcotest.bool "has rendezvous" true (has Bdfg.Rendezvous);
+  check Alcotest.bool "has rule alloc" true (has (Bdfg.Rule_alloc "level_guard"));
+  check Alcotest.bool "has event port" true (has (Bdfg.Event "commit_level"));
+  check Alcotest.bool "has squash" true (has Bdfg.Squash);
+  check Alcotest.bool "has visit spawner" true (has (Bdfg.Spawn "visit"));
+  check Alcotest.bool "stage count positive" true (Bdfg.stage_count g "update" > 5)
+
+let test_bdfg_switch_branches () =
+  let g = Bdfg.of_spec Bfs_app.spec_speculative in
+  let switches =
+    List.filter (fun a -> a.Bdfg.kind = Bdfg.Switch) (Bdfg.actors_of_set g "update")
+  in
+  check Alcotest.bool "switches exist" true (switches <> []);
+  List.iter
+    (fun sw ->
+      let succ = Bdfg.successors g sw.Bdfg.id in
+      check Alcotest.bool "true branch" true (List.exists (fun (_, b) -> b = Some true) succ);
+      check Alcotest.bool "false branch" true (List.exists (fun (_, b) -> b = Some false) succ))
+    switches
+
+let test_bdfg_dot () =
+  let g = Bdfg.of_spec Lu_app.spec_coordinative in
+  let dot = Bdfg.to_dot g in
+  check Alcotest.bool "digraph" true (String.length dot > 50);
+  check Alcotest.bool "has cluster" true
+    (String.length dot > 0 && String.index_opt dot '{' <> None)
+
+(* --- memory model --- *)
+
+let test_memory_hit_miss () =
+  let mem = Memory.create Config.default in
+  let t1 = Memory.access mem ~now:0 ~addr:0 ~is_write:false in
+  check Alcotest.bool "miss slower than hit latency" true (t1 > Config.default.Config.hit_latency);
+  let t2 = Memory.access mem ~now:t1 ~addr:8 ~is_write:false in
+  check Alcotest.int "same line hits" (t1 + Config.default.Config.hit_latency) t2;
+  let s = Memory.stats mem in
+  check Alcotest.int "one miss" 1 s.Memory.misses;
+  check Alcotest.int "one hit" 1 s.Memory.hits
+
+let test_memory_bandwidth_throttles () =
+  (* Many concurrent misses must serialize on the link: with scaled-up
+     bandwidth the same burst completes sooner. *)
+  let burst cfg =
+    let mem = Memory.create cfg in
+    let addrs = List.init 64 (fun i -> (i * 4096, false)) in
+    Memory.access_burst mem ~now:0 ~addrs ~dependent:false
+  in
+  let slow = burst Config.default in
+  let fast = burst (Config.scale_bandwidth Config.default 8.0) in
+  check Alcotest.bool "8x bandwidth is faster" true (fast < slow)
+
+let test_memory_conflict_eviction () =
+  let mem = Memory.create Config.default in
+  let cache_span = Config.default.Config.cache_bytes in
+  ignore (Memory.access mem ~now:0 ~addr:0 ~is_write:false);
+  ignore (Memory.access mem ~now:100 ~addr:cache_span ~is_write:false);
+  (* same set, different tag: evicted *)
+  ignore (Memory.access mem ~now:200 ~addr:0 ~is_write:false);
+  check Alcotest.int "three misses" 3 (Memory.stats mem).Memory.misses
+
+let test_memory_dependent_chain_slower () =
+  let run dependent =
+    let mem = Memory.create Config.default in
+    let addrs = List.init 16 (fun i -> (i * 4096, false)) in
+    Memory.access_burst mem ~now:0 ~addrs ~dependent
+  in
+  check Alcotest.bool "chain slower than burst" true (run true > run false)
+
+(* --- resource model --- *)
+
+let test_resource_breakdown () =
+  let b = Resource.breakdown Bfs_app.spec_speculative Config.default in
+  check Alcotest.bool "fits device" true (Resource.fits b);
+  check Alcotest.bool "rule regs share in paper band" true
+    (b.Resource.register_share_rules > 0.01 && b.Resource.register_share_rules < 0.25)
+
+let test_resource_heuristic_replicates () =
+  let pipes = Resource.heuristic_pipelines Bfs_app.spec_speculative ~max_per_set:8 in
+  List.iter (fun (_, n) -> check Alcotest.bool "replicated" true (n >= 2)) pipes;
+  let cfg = Config.with_pipelines Config.default pipes in
+  check Alcotest.bool "still fits" true (Resource.fits (Resource.breakdown Bfs_app.spec_speculative cfg))
+
+let test_resource_scale_monotone () =
+  let one = Resource.breakdown Bfs_app.spec_speculative Config.default in
+  let four =
+    Resource.breakdown Bfs_app.spec_speculative
+      (Config.with_pipelines Config.default [ ("visit", 4); ("update", 4) ])
+  in
+  check Alcotest.bool "more pipelines, more ALMs" true
+    (four.Resource.total.Resource.alms > one.Resource.total.Resource.alms)
+
+(* --- wavefront allocator --- *)
+
+module Wavefront = Agp_hw.Wavefront
+
+let test_wavefront_conflict_free () =
+  let w = Wavefront.create ~banks:4 ~ports:4 in
+  let grants = Wavefront.allocate_uniform w ~requesting:[| true; true; true; true |] in
+  check Alcotest.int "full matching" 4 (List.length grants);
+  let banks = List.map fst grants and ports = List.map snd grants in
+  check Alcotest.int "banks distinct" 4 (List.length (List.sort_uniq compare banks));
+  check Alcotest.int "ports distinct" 4 (List.length (List.sort_uniq compare ports))
+
+let test_wavefront_partial_requests () =
+  let w = Wavefront.create ~banks:3 ~ports:2 in
+  let grants = Wavefront.allocate_uniform w ~requesting:[| true; false; true |] in
+  check Alcotest.int "two grants" 2 (List.length grants);
+  check Alcotest.bool "bank 1 silent" true (not (List.mem_assoc 1 grants))
+
+let test_wavefront_fairness () =
+  (* three banks contending for ONE port: the rotating diagonal must
+     spread grants evenly over many cycles *)
+  let w = Wavefront.create ~banks:3 ~ports:1 in
+  for _ = 1 to 300 do
+    ignore (Wavefront.allocate_uniform w ~requesting:[| true; true; true |])
+  done;
+  let counts = Wavefront.grant_counts w in
+  Array.iter
+    (fun c -> check Alcotest.bool "fair share" true (c >= 80 && c <= 120))
+    counts
+
+let test_wavefront_respects_request_matrix () =
+  let w = Wavefront.create ~banks:2 ~ports:2 in
+  (* bank 0 only wants port 1; bank 1 only wants port 0 *)
+  let grants =
+    Wavefront.allocate w ~requests:[| [| false; true |]; [| true; false |] |]
+  in
+  check Alcotest.bool "crossed grants" true
+    (List.mem (0, 1) grants && List.mem (1, 0) grants)
+
+let test_wavefront_shape_check () =
+  let w = Wavefront.create ~banks:2 ~ports:2 in
+  Alcotest.check_raises "bank mismatch"
+    (Invalid_argument "Wavefront.allocate_uniform: bank mismatch") (fun () ->
+      ignore (Wavefront.allocate_uniform w ~requesting:[| true |]))
+
+(* --- accelerator end to end --- *)
+
+let accel_check app =
+  let run = app.App_instance.fresh () in
+  let report =
+    Accelerator.run ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
+      ~state:run.App_instance.state ~initial:run.App_instance.initial ()
+  in
+  (report, run.App_instance.check ())
+
+let test_accel_bfs () =
+  let app = Bfs_app.speculative (Bfs_app.workload_of_graph (Agp_graph.Generator.road ~seed:3 ~width:12 ~height:8) 0) in
+  let report, result = accel_check app in
+  check ok_result "levels valid" (Ok ()) result;
+  check Alcotest.bool "took cycles" true (report.Accelerator.cycles > 100);
+  check Alcotest.bool "utilization sane" true
+    (report.Accelerator.utilization > 0.0 && report.Accelerator.utilization <= 1.0)
+
+let test_accel_coor_bfs () =
+  let app = Bfs_app.coordinative (Bfs_app.workload_of_graph (Agp_graph.Generator.road ~seed:3 ~width:12 ~height:8) 0) in
+  let _, result = accel_check app in
+  check ok_result "levels valid" (Ok ()) result
+
+let test_accel_sssp () =
+  let app = Sssp_app.speculative (Sssp_app.workload_of_graph (Agp_graph.Generator.random ~seed:7 ~n:60 ~m:150) 0) in
+  let _, result = accel_check app in
+  check ok_result "distances valid" (Ok ()) result
+
+let test_accel_mst () =
+  let app = Mst_app.speculative (Mst_app.workload_of_graph (Agp_graph.Generator.random ~seed:9 ~n:50 ~m:120)) in
+  let _, result = accel_check app in
+  check ok_result "tree optimal" (Ok ()) result
+
+let test_accel_dmr () =
+  let app = Dmr_app.speculative (Dmr_app.workload_of_points (Agp_graph.Generator.points ~seed:13 ~n:60 ~span:100.0)) in
+  let _, result = accel_check app in
+  check ok_result "mesh refined" (Ok ()) result
+
+let test_accel_lu () =
+  let app = Lu_app.coordinative (Lu_app.sized_workload ~seed:15 ~nb:4 ~bs:4 ~density:0.35) in
+  let _, result = accel_check app in
+  check ok_result "residual small" (Ok ()) result
+
+let test_accel_bandwidth_helps () =
+  (* the working set must exceed the 64 KB cache or QPI never matters *)
+  let g = Agp_graph.Generator.road ~seed:4 ~width:60 ~height:60 in
+  let time factor =
+    let app = Bfs_app.speculative (Bfs_app.workload_of_graph g 0) in
+    let run = app.App_instance.fresh () in
+    let config = Config.scale_bandwidth Config.default factor in
+    let report =
+      Accelerator.run ~config ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
+        ~state:run.App_instance.state ~initial:run.App_instance.initial ()
+    in
+    report.Accelerator.cycles
+  in
+  let base = time 1.0 and fast = time 8.0 in
+  check Alcotest.bool "8x qpi speeds up bfs" true (fast < base)
+
+let test_accel_more_pipelines_not_slower () =
+  let g = Agp_graph.Generator.road ~seed:5 ~width:16 ~height:10 in
+  let time pipes =
+    let app = Bfs_app.speculative (Bfs_app.workload_of_graph g 0) in
+    let run = app.App_instance.fresh () in
+    let config = Config.with_pipelines Config.default pipes in
+    (Accelerator.run ~config ~auto_size:false ~spec:app.App_instance.spec
+       ~bindings:run.App_instance.bindings ~state:run.App_instance.state
+       ~initial:run.App_instance.initial ())
+      .Accelerator.cycles
+  in
+  let one = time [ ("visit", 1); ("update", 1) ] in
+  let four = time [ ("visit", 4); ("update", 4) ] in
+  check Alcotest.bool "4 pipelines not slower" true (four <= one)
+
+let prop_accel_matches_runtime_all_apps =
+  QCheck.Test.make ~name:"accelerator equals software runtime (sssp/mst)" ~count:6
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let apps =
+        [
+          Sssp_app.speculative
+            (Sssp_app.workload_of_graph (Agp_graph.Generator.random ~seed ~n:40 ~m:100) 0);
+          Mst_app.speculative
+            (Mst_app.workload_of_graph (Agp_graph.Generator.random ~seed ~n:30 ~m:80));
+        ]
+      in
+      List.for_all
+        (fun (app : App_instance.t) ->
+          let run = app.App_instance.fresh () in
+          ignore
+            (Accelerator.run ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
+               ~state:run.App_instance.state ~initial:run.App_instance.initial ());
+          run.App_instance.check () = Ok ())
+        apps)
+
+let test_accel_lane_starvation_still_correct () =
+  (* tiny lane budget: heavy stalling but never wrong answers or
+     deadlock, thanks to the priority lane *)
+  let g = Agp_graph.Generator.road ~seed:8 ~width:14 ~height:9 in
+  let app = Bfs_app.speculative (Bfs_app.workload_of_graph g 0) in
+  let run = app.App_instance.fresh () in
+  let config = { Config.default with Config.rule_lanes = 2 } in
+  ignore
+    (Accelerator.run ~config ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
+       ~state:run.App_instance.state ~initial:run.App_instance.initial ());
+  check ok_result "correct under 2 lanes" (Ok ()) (run.App_instance.check ())
+
+let test_accel_deeper_window_still_correct () =
+  let g = Agp_graph.Generator.road ~seed:9 ~width:14 ~height:9 in
+  let app = Bfs_app.speculative (Bfs_app.workload_of_graph g 0) in
+  let run = app.App_instance.fresh () in
+  let config = { Config.default with Config.window_factor = 8 } in
+  ignore
+    (Accelerator.run ~config ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
+       ~state:run.App_instance.state ~initial:run.App_instance.initial ());
+  check ok_result "correct with deep windows" (Ok ()) (run.App_instance.check ())
+
+let test_memory_reset_stats () =
+  let mem = Memory.create Config.default in
+  ignore (Memory.access mem ~now:0 ~addr:0 ~is_write:false);
+  Memory.reset_stats mem;
+  let s = Memory.stats mem in
+  check Alcotest.int "reads cleared" 0 s.Memory.reads;
+  check Alcotest.int "misses cleared" 0 s.Memory.misses
+
+let test_resource_rule_cost_monotone_lanes () =
+  let c64 = Resource.rule_engine_cost Bfs_app.spec_speculative ~lanes_per_rule:64 in
+  let c256 = Resource.rule_engine_cost Bfs_app.spec_speculative ~lanes_per_rule:256 in
+  check Alcotest.bool "more lanes more registers" true
+    (c256.Resource.registers > c64.Resource.registers)
+
+let test_config_bandwidth_scaling () =
+  let c = Config.scale_bandwidth Config.default 4.0 in
+  check (Alcotest.float 1e-9) "4x bytes per cycle"
+    (4.0 *. Config.bytes_per_cycle Config.default)
+    (Config.bytes_per_cycle c);
+  check (Alcotest.float 1e-12) "seconds conversion" 5e-9 (Config.cycles_to_seconds c 1)
+
+let test_accel_matches_sequential_state () =
+  (* The accelerator's committed memory must equal the sequential
+     oracle's — the §4.1 correctness criterion, on the machine model. *)
+  let g = Agp_graph.Generator.road ~seed:6 ~width:10 ~height:10 in
+  let app = Bfs_app.speculative (Bfs_app.workload_of_graph g 0) in
+  let _, seq = App_instance.run_sequential app in
+  let run = app.App_instance.fresh () in
+  ignore
+    (Accelerator.run ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
+       ~state:run.App_instance.state ~initial:run.App_instance.initial ());
+  check (Alcotest.list Alcotest.string) "same final memory" []
+    (Agp_core.State.diff seq.App_instance.state run.App_instance.state)
+
+let () =
+  Alcotest.run "agp_hw"
+    [
+      ( "bdfg",
+        [
+          Alcotest.test_case "compiles all specs" `Quick test_bdfg_compiles_all;
+          Alcotest.test_case "bfs structure" `Quick test_bdfg_structure_bfs;
+          Alcotest.test_case "switch branches" `Quick test_bdfg_switch_branches;
+          Alcotest.test_case "dot export" `Quick test_bdfg_dot;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_memory_hit_miss;
+          Alcotest.test_case "bandwidth throttles" `Quick test_memory_bandwidth_throttles;
+          Alcotest.test_case "conflict eviction" `Quick test_memory_conflict_eviction;
+          Alcotest.test_case "dependent chain" `Quick test_memory_dependent_chain_slower;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "breakdown" `Quick test_resource_breakdown;
+          Alcotest.test_case "heuristic replicates" `Quick test_resource_heuristic_replicates;
+          Alcotest.test_case "scaling monotone" `Quick test_resource_scale_monotone;
+        ] );
+      ( "accelerator",
+        [
+          Alcotest.test_case "bfs" `Quick test_accel_bfs;
+          Alcotest.test_case "coor-bfs" `Quick test_accel_coor_bfs;
+          Alcotest.test_case "sssp" `Quick test_accel_sssp;
+          Alcotest.test_case "mst" `Quick test_accel_mst;
+          Alcotest.test_case "dmr" `Quick test_accel_dmr;
+          Alcotest.test_case "lu" `Quick test_accel_lu;
+          Alcotest.test_case "bandwidth helps" `Quick test_accel_bandwidth_helps;
+          Alcotest.test_case "pipelines help" `Quick test_accel_more_pipelines_not_slower;
+          Alcotest.test_case "matches sequential" `Quick test_accel_matches_sequential_state;
+          Alcotest.test_case "lane starvation correct" `Quick test_accel_lane_starvation_still_correct;
+          Alcotest.test_case "deep windows correct" `Quick test_accel_deeper_window_still_correct;
+          QCheck_alcotest.to_alcotest prop_accel_matches_runtime_all_apps;
+        ] );
+      ( "wavefront",
+        [
+          Alcotest.test_case "conflict-free matching" `Quick test_wavefront_conflict_free;
+          Alcotest.test_case "partial requests" `Quick test_wavefront_partial_requests;
+          Alcotest.test_case "fairness" `Quick test_wavefront_fairness;
+          Alcotest.test_case "request matrix" `Quick test_wavefront_respects_request_matrix;
+          Alcotest.test_case "shape check" `Quick test_wavefront_shape_check;
+        ] );
+      ( "config_memory_extra",
+        [
+          Alcotest.test_case "memory reset" `Quick test_memory_reset_stats;
+          Alcotest.test_case "rule cost monotone" `Quick test_resource_rule_cost_monotone_lanes;
+          Alcotest.test_case "bandwidth scaling" `Quick test_config_bandwidth_scaling;
+        ] );
+    ]

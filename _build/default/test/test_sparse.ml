@@ -1,0 +1,287 @@
+(* Unit and property tests for the sparse LU substrate. *)
+
+open Agp_sparse
+module Rng = Agp_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- dense blocks --- *)
+
+let test_block_identity_matmul () =
+  let bs = 4 in
+  let rng = Rng.create 1 in
+  let a = Dense_block.random rng bs in
+  let i = Dense_block.identity bs in
+  check (Alcotest.array (Alcotest.float 1e-12)) "a*I = a" a (Dense_block.matmul a i bs);
+  check (Alcotest.array (Alcotest.float 1e-12)) "I*a = a" a (Dense_block.matmul i a bs)
+
+let test_block_lu0_reconstructs () =
+  let bs = 5 in
+  let rng = Rng.create 2 in
+  let a = Dense_block.random rng bs in
+  let f = Dense_block.copy a in
+  Dense_block.lu0 f bs;
+  let l, u = Dense_block.split_lu f bs in
+  let recon = Dense_block.matmul l u bs in
+  let diff = Dense_block.max_abs (Dense_block.sub a recon bs) in
+  check Alcotest.bool "LU reconstructs A" true (diff < 1e-9)
+
+let test_block_fwd_solves () =
+  let bs = 4 in
+  let rng = Rng.create 3 in
+  let diag = Dense_block.random rng bs in
+  Dense_block.lu0 diag bs;
+  let l, _ = Dense_block.split_lu diag bs in
+  let b = Dense_block.random rng bs in
+  let x = Dense_block.copy b in
+  Dense_block.fwd ~diag x bs;
+  (* L x should equal b *)
+  let lx = Dense_block.matmul l x bs in
+  check Alcotest.bool "fwd solves L x = b" true
+    (Dense_block.max_abs (Dense_block.sub lx b bs) < 1e-9)
+
+let test_block_bdiv_solves () =
+  let bs = 4 in
+  let rng = Rng.create 4 in
+  let diag = Dense_block.random rng bs in
+  Dense_block.lu0 diag bs;
+  let _, u = Dense_block.split_lu diag bs in
+  let b = Dense_block.random rng bs in
+  let x = Dense_block.copy b in
+  Dense_block.bdiv ~diag x bs;
+  let xu = Dense_block.matmul x u bs in
+  check Alcotest.bool "bdiv solves x U = b" true
+    (Dense_block.max_abs (Dense_block.sub xu b bs) < 1e-9)
+
+let test_block_bmod () =
+  let bs = 3 in
+  let rng = Rng.create 5 in
+  let row = Dense_block.random rng bs in
+  let col = Dense_block.random rng bs in
+  let b = Dense_block.random rng bs in
+  let expect = Dense_block.sub b (Dense_block.matmul row col bs) bs in
+  let got = Dense_block.copy b in
+  Dense_block.bmod ~row ~col got bs;
+  check Alcotest.bool "bmod = b - row*col" true
+    (Dense_block.max_abs (Dense_block.sub expect got bs) < 1e-9)
+
+(* --- block matrix --- *)
+
+let test_block_matrix_shape () =
+  let m = Block_matrix.random_sparse ~seed:6 ~nb:6 ~bs:4 ~density:0.3 in
+  check Alcotest.bool "diagonal always present" true
+    (List.for_all (fun k -> Block_matrix.present m k k) [ 0; 1; 2; 3; 4; 5 ]);
+  check Alcotest.bool "sparse" true (Block_matrix.num_present m < 36)
+
+let test_block_matrix_ensure () =
+  let m = Block_matrix.create ~nb:2 ~bs:2 in
+  check Alcotest.bool "absent" false (Block_matrix.present m 0 1);
+  let b = Block_matrix.ensure m 0 1 in
+  check Alcotest.bool "allocated zero" true (Dense_block.max_abs b = 0.0);
+  check Alcotest.bool "now present" true (Block_matrix.present m 0 1);
+  let b' = Block_matrix.ensure m 0 1 in
+  check Alcotest.bool "same block returned" true (b == b')
+
+let test_block_matrix_copy_deep () =
+  let m = Block_matrix.random_sparse ~seed:7 ~nb:3 ~bs:2 ~density:0.5 in
+  let c = Block_matrix.copy m in
+  (match Block_matrix.get c 0 0 with
+  | Some b -> Dense_block.set b 2 0 0 999.0
+  | None -> Alcotest.fail "diagonal missing");
+  match Block_matrix.get m 0 0 with
+  | Some b -> check Alcotest.bool "original untouched" true (Dense_block.get b 2 0 0 <> 999.0)
+  | None -> Alcotest.fail "diagonal missing"
+
+let test_block_matrix_out_of_range () =
+  let m = Block_matrix.create ~nb:2 ~bs:2 in
+  Alcotest.check_raises "oob" (Invalid_argument "Block_matrix: block out of range") (fun () ->
+      ignore (Block_matrix.get m 2 0))
+
+(* --- sparse LU --- *)
+
+let test_symbolic_fillin () =
+  (* A[1][0] and A[0][1] present => fill-in at A[1][1]... already present.
+     Craft: A[2][0], A[0][1] => fill at (2,1). *)
+  let m = Block_matrix.create ~nb:3 ~bs:2 in
+  let rng = Rng.create 8 in
+  List.iter
+    (fun (i, j) -> Block_matrix.set m i j (Dense_block.random rng 2))
+    [ (0, 0); (1, 1); (2, 2); (2, 0); (0, 1) ];
+  let p = Sparse_lu.symbolic m in
+  check Alcotest.bool "fill-in (2,1)" true p.(2).(1);
+  check Alcotest.bool "no fill-in (1,0)" false p.(1).(0)
+
+let test_tasks_order_and_count () =
+  let m = Block_matrix.random_sparse ~seed:9 ~nb:4 ~bs:2 ~density:0.4 in
+  let ts = Sparse_lu.tasks m in
+  (* First task factors the first pivot; every k appears exactly once as Lu0. *)
+  (match ts with
+  | Sparse_lu.Lu0 0 :: _ -> ()
+  | _ -> Alcotest.fail "first task must be lu0(0)");
+  let lu0s = List.filter (function Sparse_lu.Lu0 _ -> true | _ -> false) ts in
+  check Alcotest.int "one lu0 per pivot" 4 (List.length lu0s)
+
+let test_factorize_residual () =
+  let m = Block_matrix.random_sparse ~seed:10 ~nb:5 ~bs:4 ~density:0.3 in
+  let f = Block_matrix.copy m in
+  let n_tasks = Sparse_lu.factorize f in
+  check Alcotest.bool "did work" true (n_tasks >= 5);
+  let r = Sparse_lu.residual ~original:m ~factored:f in
+  check Alcotest.bool "small residual" true (r < 1e-8)
+
+let test_task_list_equals_factorize () =
+  let m = Block_matrix.random_sparse ~seed:11 ~nb:4 ~bs:3 ~density:0.35 in
+  let f1 = Block_matrix.copy m in
+  ignore (Sparse_lu.factorize f1);
+  let f2 = Block_matrix.copy m in
+  List.iter (Sparse_lu.run_task f2) (Sparse_lu.tasks m);
+  check (Alcotest.float 1e-12) "same result" 0.0 (Block_matrix.max_abs_diff f1 f2)
+
+let test_dependencies_sound () =
+  (* Fully dense so every dependence class is exercised (lu0(1) is then
+     guaranteed to depend on bmod(1,1,0)). *)
+  let m = Block_matrix.random_sparse ~seed:12 ~nb:4 ~bs:2 ~density:1.0 in
+  let deps = Sparse_lu.dependencies m in
+  let order = Sparse_lu.tasks m in
+  let pos t =
+    let rec find i = function
+      | [] -> Alcotest.failf "task %s missing" (Sparse_lu.task_to_string t)
+      | x :: _ when x = t -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 order
+  in
+  List.iter
+    (fun (t, ds) -> List.iter (fun d -> Alcotest.(check bool) "dep earlier" true (pos d < pos t)) ds)
+    deps;
+  (* lu0(k>0) must depend on something (the bmods that updated its block). *)
+  let lu1_deps = List.assoc (Sparse_lu.Lu0 1) deps in
+  check Alcotest.bool "lu0(1) has deps" true (List.length lu1_deps >= 1)
+
+let test_dependency_respecting_shuffle_ok () =
+  (* Executing tasks in any dependency-respecting order must give the
+     same factors: run a reversed-within-k greedy topological order. *)
+  let m = Block_matrix.random_sparse ~seed:13 ~nb:4 ~bs:2 ~density:0.4 in
+  let deps = Sparse_lu.dependencies m in
+  let remaining = ref (List.map fst deps) in
+  let done_tbl = Hashtbl.create 16 in
+  let f = Block_matrix.copy m in
+  let rng = Rng.create 99 in
+  while !remaining <> [] do
+    let ready =
+      List.filter
+        (fun t ->
+          let ds = List.assoc t deps in
+          List.for_all (Hashtbl.mem done_tbl) ds)
+        !remaining
+    in
+    if ready = [] then Alcotest.fail "deadlock: dependency list not well-founded";
+    let choice = Rng.pick rng (Array.of_list ready) in
+    Sparse_lu.run_task f choice;
+    Hashtbl.add done_tbl choice ();
+    remaining := List.filter (fun t -> t <> choice) !remaining
+  done;
+  let reference = Block_matrix.copy m in
+  ignore (Sparse_lu.factorize reference);
+  check Alcotest.bool "same factors under reordering" true
+    (Block_matrix.max_abs_diff f reference < 1e-9)
+
+let prop_symbolic_monotone =
+  QCheck.Test.make ~name:"symbolic fill-in only adds blocks" ~count:30
+    QCheck.(pair (int_range 0 1000) (int_range 2 8))
+    (fun (seed, nb) ->
+      let m = Block_matrix.random_sparse ~seed ~nb ~bs:2 ~density:0.3 in
+      let p = Sparse_lu.symbolic m in
+      let ok = ref true in
+      for i = 0 to nb - 1 do
+        for j = 0 to nb - 1 do
+          if Block_matrix.present m i j && not p.(i).(j) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_task_count_matches_symbolic =
+  QCheck.Test.make ~name:"task list size derives from symbolic presence" ~count:20
+    QCheck.(pair (int_range 0 1000) (int_range 2 6))
+    (fun (seed, nb) ->
+      let m = Block_matrix.random_sparse ~seed ~nb ~bs:2 ~density:0.4 in
+      let p = Sparse_lu.symbolic m in
+      let expected = ref 0 in
+      for k = 0 to nb - 1 do
+        incr expected;
+        for j = k + 1 to nb - 1 do
+          if p.(k).(j) then incr expected
+        done;
+        for i = k + 1 to nb - 1 do
+          if p.(i).(k) then incr expected
+        done;
+        for i = k + 1 to nb - 1 do
+          for j = k + 1 to nb - 1 do
+            if p.(i).(k) && p.(k).(j) then incr expected
+          done
+        done
+      done;
+      List.length (Sparse_lu.tasks m) = !expected)
+
+let test_sampled_residual_agrees () =
+  let m = Block_matrix.random_sparse ~seed:33 ~nb:5 ~bs:4 ~density:0.3 in
+  let f = Block_matrix.copy m in
+  ignore (Sparse_lu.factorize f);
+  let full = Sparse_lu.residual ~original:m ~factored:f in
+  let sampled = Sparse_lu.sampled_residual ~seed:1 ~samples:50 ~original:m ~factored:f in
+  check Alcotest.bool "both tiny" true (full < 1e-9 && sampled < 1e-9)
+
+let test_sampled_residual_detects_corruption () =
+  let m = Block_matrix.random_sparse ~seed:34 ~nb:4 ~bs:3 ~density:0.4 in
+  let f = Block_matrix.copy m in
+  ignore (Sparse_lu.factorize f);
+  (match Block_matrix.get f 0 0 with
+  | Some b -> Dense_block.set b 3 0 0 (1000.0 +. Dense_block.get b 3 0 0)
+  | None -> Alcotest.fail "diagonal missing");
+  check Alcotest.bool "corruption detected" true
+    (Sparse_lu.sampled_residual ~seed:1 ~samples:20 ~original:m ~factored:f > 1.0e-3)
+
+let prop_factorization_residual_small =
+  QCheck.Test.make ~name:"random sparse LU has small residual" ~count:15
+    QCheck.(pair (int_range 0 1000) (int_range 2 6))
+    (fun (seed, nb) ->
+      let m = Block_matrix.random_sparse ~seed ~nb ~bs:3 ~density:0.3 in
+      let f = Block_matrix.copy m in
+      ignore (Sparse_lu.factorize f);
+      Sparse_lu.residual ~original:m ~factored:f < 1e-7)
+
+let () =
+  Alcotest.run "agp_sparse"
+    [
+      ( "dense_block",
+        [
+          Alcotest.test_case "identity matmul" `Quick test_block_identity_matmul;
+          Alcotest.test_case "lu0 reconstructs" `Quick test_block_lu0_reconstructs;
+          Alcotest.test_case "fwd solves" `Quick test_block_fwd_solves;
+          Alcotest.test_case "bdiv solves" `Quick test_block_bdiv_solves;
+          Alcotest.test_case "bmod" `Quick test_block_bmod;
+        ] );
+      ( "block_matrix",
+        [
+          Alcotest.test_case "shape" `Quick test_block_matrix_shape;
+          Alcotest.test_case "ensure" `Quick test_block_matrix_ensure;
+          Alcotest.test_case "deep copy" `Quick test_block_matrix_copy_deep;
+          Alcotest.test_case "out of range" `Quick test_block_matrix_out_of_range;
+        ] );
+      ( "sparse_lu",
+        [
+          Alcotest.test_case "symbolic fill-in" `Quick test_symbolic_fillin;
+          Alcotest.test_case "task order and count" `Quick test_tasks_order_and_count;
+          Alcotest.test_case "factorize residual" `Quick test_factorize_residual;
+          Alcotest.test_case "task list = factorize" `Quick test_task_list_equals_factorize;
+          Alcotest.test_case "dependencies sound" `Quick test_dependencies_sound;
+          Alcotest.test_case "reordered execution ok" `Quick test_dependency_respecting_shuffle_ok;
+          qtest prop_factorization_residual_small;
+          qtest prop_symbolic_monotone;
+          qtest prop_task_count_matches_symbolic;
+          Alcotest.test_case "sampled residual agrees" `Quick test_sampled_residual_agrees;
+          Alcotest.test_case "sampled residual detects corruption" `Quick
+            test_sampled_residual_detects_corruption;
+        ] );
+    ]

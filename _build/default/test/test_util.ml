@@ -1,0 +1,455 @@
+(* Unit and property tests for the utility substrate. *)
+
+open Agp_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !differs
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  check Alcotest.bool "split streams differ" true (xa <> xb)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int_in stays inclusive" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, extent) ->
+      let hi = lo + extent in
+      let rng = Rng.create seed in
+      let x = Rng.int_in rng lo hi in
+      x >= lo && x <= hi)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=0 never" false (Rng.chance rng 0.0)
+  done;
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=1 always" true (Rng.chance rng 1.0)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 200 do
+    let x = Rng.float rng 3.0 in
+    check Alcotest.bool "in [0,3)" true (x >= 0.0 && x < 3.0)
+  done
+
+(* --- Vec --- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get 7" 49 (Vec.get v 7);
+  check Alcotest.int "last" (99 * 99) (Vec.last v)
+
+let test_vec_pop () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  check Alcotest.int "pop" 3 (Vec.pop v);
+  check Alcotest.int "len after pop" 2 (Vec.length v);
+  check Alcotest.int "pop" 2 (Vec.pop v);
+  check Alcotest.int "pop" 1 (Vec.pop v);
+  check Alcotest.bool "empty" true (Vec.is_empty v)
+
+let test_vec_bounds () =
+  let v = Vec.of_array [| 1 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      Vec.set v (-1) 0)
+
+let test_vec_clear_reuse () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Vec.clear v;
+  check Alcotest.bool "empty after clear" true (Vec.is_empty v);
+  Vec.push v 2;
+  check Alcotest.int "reusable" 2 (Vec.get v 0)
+
+let test_vec_sort () =
+  let v = Vec.of_array [| 3; 1; 2 |] in
+  Vec.sort compare v;
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+let prop_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_array/to_array roundtrip" ~count:200
+    QCheck.(array small_int)
+    (fun a -> Vec.to_array (Vec.of_array a) = a)
+
+let prop_vec_fold_sum =
+  QCheck.Test.make ~name:"vec fold equals array fold" ~count:200
+    QCheck.(array small_int)
+    (fun a -> Vec.fold ( + ) 0 (Vec.of_array a) = Array.fold_left ( + ) 0 a)
+
+(* --- Fifo --- *)
+
+let test_fifo_order () =
+  let q = Fifo.create () in
+  for i = 1 to 20 do
+    ignore (Fifo.push q i)
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Fifo.pop q with
+    | Some x ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "fifo order" (List.init 20 (fun i -> i + 1)) (List.rev !out)
+
+let test_fifo_bound () =
+  let q = Fifo.create ~bound:2 () in
+  check Alcotest.bool "push 1" true (Fifo.push q 1);
+  check Alcotest.bool "push 2" true (Fifo.push q 2);
+  check Alcotest.bool "push 3 rejected" false (Fifo.push q 3);
+  check Alcotest.bool "full" true (Fifo.is_full q);
+  ignore (Fifo.pop q);
+  check Alcotest.bool "push after pop" true (Fifo.push q 3);
+  check (Alcotest.list Alcotest.int) "contents" [ 2; 3 ] (Fifo.to_list q)
+
+let test_fifo_wraparound () =
+  let q = Fifo.create () in
+  (* force head to travel around the ring across growth *)
+  for round = 0 to 5 do
+    for i = 0 to 9 do
+      ignore (Fifo.push q ((round * 10) + i))
+    done;
+    for _ = 0 to 7 do
+      ignore (Fifo.pop q)
+    done
+  done;
+  (* 60 pushes and 48 pops leave 12 elements, oldest being value 48. *)
+  check Alcotest.int "length" 12 (Fifo.length q);
+  check Alcotest.bool "peek is oldest" true (Fifo.peek q = Some 48)
+
+let test_fifo_peek_empty () =
+  let q : int Fifo.t = Fifo.create () in
+  check Alcotest.bool "peek empty" true (Fifo.peek q = None);
+  check Alcotest.bool "pop empty" true (Fifo.pop q = None)
+
+let test_fifo_push_front () =
+  let q = Fifo.create () in
+  ignore (Fifo.push q 2);
+  ignore (Fifo.push q 3);
+  check Alcotest.bool "front push" true (Fifo.push_front q 1);
+  check (Alcotest.list Alcotest.int) "front first" [ 1; 2; 3 ] (Fifo.to_list q);
+  check Alcotest.bool "pop returns front" true (Fifo.pop q = Some 1)
+
+let test_fifo_push_front_bounded () =
+  let q = Fifo.create ~bound:1 () in
+  ignore (Fifo.push q 9);
+  check Alcotest.bool "full rejects front push" false (Fifo.push_front q 1)
+
+let test_fifo_push_front_wraparound () =
+  let q = Fifo.create () in
+  for i = 0 to 9 do
+    ignore (Fifo.push q i)
+  done;
+  for _ = 0 to 4 do
+    ignore (Fifo.pop q)
+  done;
+  ignore (Fifo.push_front q 99);
+  check (Alcotest.list Alcotest.int) "front after wrap" [ 99; 5; 6; 7; 8; 9 ] (Fifo.to_list q)
+
+let prop_fifo_preserves_sequence =
+  QCheck.Test.make ~name:"fifo preserves push sequence" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Fifo.create () in
+      List.iter (fun x -> ignore (Fifo.push q x)) xs;
+      Fifo.to_list q = xs)
+
+(* --- Heap --- *)
+
+let test_heap_sorts () =
+  let h = Heap.of_array compare [| 5; 1; 4; 2; 3 |] in
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 1; 2; 3; 4; 5 ] (Heap.to_sorted_list h)
+
+let test_heap_push_pop_interleaved () =
+  let h = Heap.create compare in
+  Heap.push h 3;
+  Heap.push h 1;
+  check Alcotest.bool "min" true (Heap.pop h = Some 1);
+  Heap.push h 0;
+  Heap.push h 2;
+  check Alcotest.bool "min" true (Heap.pop h = Some 0);
+  check Alcotest.bool "min" true (Heap.pop h = Some 2);
+  check Alcotest.bool "min" true (Heap.pop h = Some 3);
+  check Alcotest.bool "empty" true (Heap.pop h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create compare in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+(* --- Union_find --- *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 5 in
+  check Alcotest.int "initial sets" 5 (Union_find.count_sets uf);
+  check Alcotest.bool "union" true (Union_find.union uf 0 1);
+  check Alcotest.bool "redundant union" false (Union_find.union uf 1 0);
+  check Alcotest.bool "same" true (Union_find.same uf 0 1);
+  check Alcotest.bool "not same" false (Union_find.same uf 0 2);
+  check Alcotest.int "sets after union" 4 (Union_find.count_sets uf)
+
+let test_uf_find_trace () =
+  let uf = Union_find.create 4 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  let root, trace = Union_find.find_trace uf 2 in
+  check Alcotest.int "root" (Union_find.find uf 0) root;
+  check Alcotest.bool "trace nonempty" true (List.length trace >= 1)
+
+let prop_uf_transitive =
+  QCheck.Test.make ~name:"union-find is transitive" ~count:200
+    QCheck.(list (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* Reference: naive component labelling by fixpoint. *)
+      let label = Array.init 20 (fun i -> i) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (a, b) ->
+            let m = min label.(a) label.(b) in
+            if label.(a) <> m || label.(b) <> m then begin
+              label.(a) <- m;
+              label.(b) <- m;
+              changed := true
+            end)
+          pairs
+      done;
+      (* Labels must refine to the same partition as union-find. *)
+      let ok = ref true in
+      for i = 0 to 19 do
+        for j = 0 to 19 do
+          let uf_same = Union_find.same uf i j in
+          (* naive labels only merge along listed pairs transitively, via
+             repeated sweeps; equality of partitions: *)
+          let naive_same = label.(i) = label.(j) in
+          if uf_same <> naive_same then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Bitset --- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  check Alcotest.int "cardinal" 4 (Bitset.cardinal b);
+  check Alcotest.bool "mem 63" true (Bitset.mem b 63);
+  check Alcotest.bool "mem 62" false (Bitset.mem b 62);
+  Bitset.remove b 63;
+  check Alcotest.bool "removed" false (Bitset.mem b 63);
+  check Alcotest.int "cardinal" 3 (Bitset.cardinal b)
+
+let test_bitset_intersects () =
+  let a = Bitset.create 70 and b = Bitset.create 70 in
+  Bitset.add a 65;
+  Bitset.add b 64;
+  check Alcotest.bool "disjoint" false (Bitset.intersects a b);
+  Bitset.add b 65;
+  check Alcotest.bool "intersecting" true (Bitset.intersects a b)
+
+let test_bitset_iter_sorted () =
+  let b = Bitset.create 50 in
+  List.iter (Bitset.add b) [ 40; 3; 17 ];
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  check (Alcotest.list Alcotest.int) "ascending" [ 3; 17; 40 ] (List.rev !seen)
+
+(* --- Stats --- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () =
+  check feq "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check feq "mean empty" 0.0 (Stats.mean [||])
+
+let test_stats_geomean () = check feq "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check feq "p0" 1.0 (Stats.percentile xs 0.0);
+  check feq "p50" 3.0 (Stats.percentile xs 50.0);
+  check feq "p100" 5.0 (Stats.percentile xs 100.0);
+  check feq "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_running () =
+  let r = Stats.running () in
+  List.iter (Stats.observe r) [ 2.0; 4.0; 6.0 ];
+  check Alcotest.int "count" 3 (Stats.running_count r);
+  check feq "mean" 4.0 (Stats.running_mean r);
+  check (Alcotest.float 1e-6) "stddev" (Stats.stddev [| 2.0; 4.0; 6.0 |]) (Stats.running_stddev r)
+
+(* --- Chart --- *)
+
+let test_sparkline_shape () =
+  let s = Chart.sparkline [| 1.0; 2.0; 3.0; 4.0 |] in
+  (* four glyphs, three bytes each *)
+  check Alcotest.int "four cells" 12 (String.length s);
+  check Alcotest.bool "monotone ends" true
+    (String.sub s 0 3 = "\xe2\x96\x81" && String.sub s 9 3 = "\xe2\x96\x88")
+
+let test_sparkline_constant_and_empty () =
+  check Alcotest.string "empty" "" (Chart.sparkline [||]);
+  let s = Chart.sparkline [| 5.0; 5.0 |] in
+  check Alcotest.int "two mid cells" 6 (String.length s);
+  check Alcotest.string "identical cells" (String.sub s 0 3) (String.sub s 3 3)
+
+let test_chart_series_labels () =
+  let out = Chart.series [ ("alpha", [| 1.0; 2.0 |]); ("b", [| 3.0; 1.0 |]) ] in
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "two rows" 2 (List.length lines);
+  check Alcotest.bool "labels aligned" true
+    (String.length (List.nth lines 0) > 0
+    && String.sub (List.nth lines 1) 0 5 = "b    ")
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create [ "app"; "speedup" ] in
+  Table.add_row t [ "bfs"; "1.90x" ];
+  Table.add_row t [ "lu" ];
+  let s = Table.render t in
+  check Alcotest.bool "has header" true (String.length s > 0);
+  check Alcotest.bool "contains bfs" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0 && String.index_opt l 'b' <> None))
+
+let test_table_too_many_cells () =
+  let t = Table.create [ "one" ] in
+  Alcotest.check_raises "reject" (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "a"; "b" ])
+
+let test_table_cells () =
+  check Alcotest.string "float cell" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  check Alcotest.string "ratio cell" "1.90x" (Table.cell_ratio 1.9)
+
+let () =
+  Alcotest.run "agp_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          qtest prop_rng_int_bounds;
+          qtest prop_rng_int_in_bounds;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "pop" `Quick test_vec_pop;
+          Alcotest.test_case "bounds checks" `Quick test_vec_bounds;
+          Alcotest.test_case "clear and reuse" `Quick test_vec_clear_reuse;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+          qtest prop_vec_roundtrip;
+          qtest prop_vec_fold_sum;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "bound" `Quick test_fifo_bound;
+          Alcotest.test_case "wraparound" `Quick test_fifo_wraparound;
+          Alcotest.test_case "peek/pop empty" `Quick test_fifo_peek_empty;
+          Alcotest.test_case "push_front" `Quick test_fifo_push_front;
+          Alcotest.test_case "push_front bounded" `Quick test_fifo_push_front_bounded;
+          Alcotest.test_case "push_front wraparound" `Quick test_fifo_push_front_wraparound;
+          qtest prop_fifo_preserves_sequence;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "heapify sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "interleaved" `Quick test_heap_push_pop_interleaved;
+          qtest prop_heap_sorts;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_uf_basic;
+          Alcotest.test_case "find_trace" `Quick test_uf_find_trace;
+          qtest prop_uf_transitive;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "intersects" `Quick test_bitset_intersects;
+          Alcotest.test_case "iter sorted" `Quick test_bitset_iter_sorted;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "running" `Quick test_stats_running;
+        ] );
+      ( "chart",
+        [
+          Alcotest.test_case "sparkline shape" `Quick test_sparkline_shape;
+          Alcotest.test_case "constant and empty" `Quick test_sparkline_constant_and_empty;
+          Alcotest.test_case "series labels" `Quick test_chart_series_labels;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "cell formatting" `Quick test_table_cells;
+        ] );
+    ]
