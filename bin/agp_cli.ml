@@ -16,7 +16,7 @@ let scale_arg =
   Arg.(
     value
     & opt (conv (parse, print)) Workloads.Default
-    & info [ "scale" ] ~docv:"SCALE" ~doc:"Workload scale: small or default.")
+    & info [ "scale" ] ~docv:"SCALE" ~doc:"Workload scale: small, medium or default.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
@@ -29,12 +29,24 @@ let fig9_cmd =
     Term.(const run $ scale_arg $ seed_arg)
 
 let fig10_cmd =
-  let run scale seed =
-    ignore scale;
-    Experiments.print_fig10 (Experiments.fig10 ~seed ())
+  (* this sweep simulates 24 accelerator runs, so its default scale is
+     medium rather than the global default *)
+  let fig10_scale_arg =
+    let parse s = Result.map_error (fun e -> `Msg e) (Workloads.scale_of_string s) in
+    let print fmt = function
+      | Workloads.Small -> Format.fprintf fmt "small"
+      | Workloads.Medium -> Format.fprintf fmt "medium"
+      | Workloads.Default -> Format.fprintf fmt "default"
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Workloads.Medium
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Workload scale: small, medium or default (default: medium).")
   in
+  let run scale seed = Experiments.print_fig10 (Experiments.fig10 ~scale ~seed ()) in
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: QPI bandwidth sweep (speedup and pipeline utilization).")
-    Term.(const run $ scale_arg $ seed_arg)
+    Term.(const run $ fig10_scale_arg $ seed_arg)
 
 let table1_cmd =
   let run scale seed = Experiments.print_table1 (Experiments.table1 ~scale ~seed ()) in
@@ -214,6 +226,101 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one application on a platform model and validate the result.")
     Term.(const run $ scale_arg $ seed_arg $ app_arg $ platform_arg $ workers_arg $ bw_arg)
 
+let observe_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the Chrome trace-event JSON.")
+  in
+  let bw_arg =
+    Arg.(value & opt float 1.0 & info [ "bandwidth" ] ~doc:"QPI bandwidth multiplier.")
+  in
+  let run scale seed name bw out =
+    match find_app scale seed name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok app ->
+        let open Agp_apps.App_instance in
+        let module Obs = Agp_obs in
+        let sink = Obs.Sink.collect () in
+        let config = Agp_hw.Config.scale_bandwidth Agp_hw.Config.default bw in
+        let r = app.fresh () in
+        let report =
+          Agp_hw.Accelerator.run ~config ~sink ~spec:app.spec ~bindings:r.bindings
+            ~state:r.state ~initial:r.initial ()
+        in
+        begin
+          match r.check () with
+          | Ok () -> ()
+          | Error e ->
+              Printf.printf "result: INVALID (%s)\n" e;
+              exit 1
+        end;
+        let events = Obs.Sink.events sink in
+        let oc =
+          try open_out out
+          with Sys_error e ->
+            Printf.eprintf "cannot write trace: %s\n" e;
+            exit 1
+        in
+        output_string oc (Obs.Chrome_trace.to_string ~trace_name:app.app_name events);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "%s on FPGA model: %d cycles (%.3f ms), utilization %.1f%%\n" app.app_name
+          report.Agp_hw.Accelerator.cycles
+          (report.Agp_hw.Accelerator.seconds *. 1e3)
+          (100.0 *. report.Agp_hw.Accelerator.utilization);
+        Printf.printf "wrote %s (%d events) — load it in chrome://tracing or ui.perfetto.dev\n\n"
+          out (List.length events);
+        print_endline "stall attribution (pipeline-cycles per task set):";
+        print_endline (Obs.Attribution.render report.Agp_hw.Accelerator.attribution);
+        (* metrics dump: counters from the report, latency histogram
+           from the captured task spans *)
+        let reg = Obs.Metrics.create () in
+        let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
+        let g name v = Obs.Metrics.set (Obs.Metrics.gauge reg name) v in
+        let es = report.Agp_hw.Accelerator.engine_stats in
+        c "accel.cycles" report.Agp_hw.Accelerator.cycles;
+        c "tasks.activated" es.Agp_core.Engine.activated;
+        c "tasks.committed" es.Agp_core.Engine.committed;
+        c "tasks.aborted" es.Agp_core.Engine.aborted;
+        c "tasks.retried" es.Agp_core.Engine.retried;
+        c "mem.reads" report.Agp_hw.Accelerator.mem_reads;
+        c "mem.writes" report.Agp_hw.Accelerator.mem_writes;
+        c "mem.bytes_over_link" report.Agp_hw.Accelerator.bytes_over_link;
+        c "obs.events" (Obs.Sink.count sink);
+        g "accel.utilization" report.Agp_hw.Accelerator.utilization;
+        g "mem.hit_rate" report.Agp_hw.Accelerator.mem_hit_rate;
+        let latency =
+          Obs.Metrics.histogram reg "task.occupancy.cycles"
+            ~buckets:[| 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
+        in
+        let dispatched = Hashtbl.create 256 in
+        List.iter
+          (fun (ts, ev) ->
+            match ev with
+            | Obs.Event.Task_dispatch { tid; _ } -> Hashtbl.replace dispatched tid ts
+            | Obs.Event.Task_finish { tid; _ } | Obs.Event.Rendezvous_park { tid; _ } -> begin
+                match Hashtbl.find_opt dispatched tid with
+                | Some t0 ->
+                    Hashtbl.remove dispatched tid;
+                    Obs.Metrics.observe latency (ts - t0)
+                | None -> ()
+              end
+            | _ -> ())
+          events;
+        print_endline "metrics:";
+        print_string (Obs.Metrics.to_text reg)
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Run one application on the cycle model with full observability: write a \
+          Perfetto-loadable trace.json, print the stall-attribution table and a metrics dump.")
+    Term.(const run $ scale_arg $ seed_arg $ app_arg $ bw_arg $ out_arg)
+
 let () =
   let doc = "Aggressive pipelining of irregular applications — reproduction toolkit" in
   let main = Cmd.group (Cmd.info "agp" ~doc)
@@ -226,6 +333,7 @@ let () =
         dot_cmd;
         spec_cmd;
         run_cmd;
+        observe_cmd;
         explore_cmd;
         trace_cmd;
         amplify_cmd;

@@ -18,6 +18,7 @@ type outcome = {
   fits : bool;
   alms : int;
   registers : int;
+  stall : Agp_obs.Attribution.summary option;
 }
 
 let default_candidates =
@@ -57,6 +58,7 @@ let sweep ?(candidates = default_candidates) (app : App_instance.t) =
           fits = false;
           alms = b.Resource.total.Resource.alms;
           registers = b.Resource.total.Resource.registers;
+          stall = None;
         }
       else begin
         let run = app.App_instance.fresh () in
@@ -80,6 +82,7 @@ let sweep ?(candidates = default_candidates) (app : App_instance.t) =
           fits = true;
           alms = b.Resource.total.Resource.alms;
           registers = b.Resource.total.Resource.registers;
+          stall = Some (Agp_obs.Attribution.summary report.Accelerator.attribution);
         }
       end)
     candidates
@@ -96,7 +99,16 @@ let best outcomes =
 
 let print (app : App_instance.t) outcomes =
   Printf.printf "design-space exploration for %s:\n" app.App_instance.app_name;
-  let t = Table.create [ "lanes"; "pipes/set"; "window"; "cycles"; "util"; "ALMs"; "fits" ] in
+  let t =
+    Table.create
+      [ "lanes"; "pipes/set"; "window"; "cycles"; "util"; "mem%"; "rdv%"; "squash%"; "ALMs"; "fits" ]
+  in
+  let pct f = Printf.sprintf "%.1f%%" (100.0 *. f) in
+  let stall_cell select o =
+    match o.stall with
+    | Some s -> pct (select s)
+    | None -> "-"
+  in
   List.iter
     (fun o ->
       Table.add_row t
@@ -105,7 +117,10 @@ let print (app : App_instance.t) outcomes =
           string_of_int o.candidate.pipelines_per_set;
           string_of_int o.candidate.window_factor;
           (if o.fits then string_of_int o.cycles else "-");
-          Printf.sprintf "%.1f%%" (100.0 *. o.utilization);
+          pct o.utilization;
+          stall_cell (fun s -> s.Agp_obs.Attribution.mem_frac) o;
+          stall_cell (fun s -> s.Agp_obs.Attribution.rendezvous_frac) o;
+          stall_cell (fun s -> s.Agp_obs.Attribution.squash_frac) o;
           string_of_int o.alms;
           string_of_bool o.fits;
         ])
@@ -113,6 +128,15 @@ let print (app : App_instance.t) outcomes =
   Table.print t;
   match best outcomes with
   | Some o ->
-      Printf.printf "best: %d lanes, %d pipelines/set, window x%d -> %d cycles\n"
+      let diagnosis =
+        match o.stall with
+        | Some s ->
+            let name, frac = Agp_obs.Attribution.dominant_stall s in
+            Printf.sprintf " (busy %s, dominant stall: %s %s)"
+              (pct s.Agp_obs.Attribution.busy_frac) name (pct frac)
+        | None -> ""
+      in
+      Printf.printf "best: %d lanes, %d pipelines/set, window x%d -> %d cycles%s\n"
         o.candidate.lanes o.candidate.pipelines_per_set o.candidate.window_factor o.cycles
+        diagnosis
   | None -> print_endline "no fitting configuration"

@@ -21,6 +21,11 @@ type outcome = {
   fits : bool;
   alms : int;
   registers : int;
+  stall : Agp_obs.Attribution.summary option;
+      (** stall breakdown of the simulated run ([None] when the
+          candidate does not fit and was never simulated) — the signal
+          that tells you {e why} a candidate is slow, not just that it
+          is *)
 }
 
 val default_candidates : candidate list

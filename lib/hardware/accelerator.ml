@@ -2,17 +2,23 @@ module Engine = Agp_core.Engine
 module Spec = Agp_core.Spec
 module State = Agp_core.State
 module Bdfg = Agp_dataflow.Bdfg
+module Sink = Agp_obs.Sink
+module Event = Agp_obs.Event
+module Attribution = Agp_obs.Attribution
 
 type in_flight = {
   mutable ready : int;
+  mutable ops_done : int; (* stage occupancies consumed by this activation *)
   tsk : Engine.task;
 }
 
 type pipeline = {
   set_name : string;
+  pipe_id : int; (* global row id, for event identity *)
   capacity : int;
   stage_ops : int;
   mutable window : in_flight list;
+  mutable stepped : bool; (* advanced at least one op this cycle *)
 }
 
 type report = {
@@ -26,6 +32,7 @@ type report = {
   bytes_over_link : int;
   peak_in_flight : int;
   pipelines : (string * int) list;
+  attribution : Attribution.t;
 }
 
 let prim_compute_latency (cfg : Config.t) name =
@@ -60,7 +67,13 @@ let op_latency cfg mem state ~now ~op ~activated_delta =
       let completion = Memory.access_burst mem ~now ~addrs ~dependent:false in
       max compute (completion - now)
 
-let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~initial () =
+let event_outcome = function
+  | Engine.Committed_task -> Event.Commit
+  | Engine.Aborted_task -> Event.Abort
+  | Engine.Retried_task -> Event.Retry
+
+let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ~spec ~bindings
+    ~state ~initial () =
   let cfg =
     if config.Config.pipelines = [] && auto_size then
       Config.with_pipelines config (Resource.heuristic_pipelines spec ~max_per_set:8)
@@ -68,28 +81,36 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
   in
   let graph = Bdfg.of_spec spec in
   let eng = Engine.create spec bindings state in
-  let mem = Memory.create cfg in
+  let mem = Memory.create ~sink cfg in
   State.set_tracing state true;
   List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
   (* initial pushes may touch no memory but could fire events; clear any
      stray trace *)
   ignore (State.drain_trace state);
+  let next_pipe = ref 0 in
   let pipes =
     List.concat_map
       (fun ts ->
         let set = ts.Spec.ts_name in
         let stage_ops = Bdfg.stage_count graph set in
         List.init (Config.pipeline_count cfg set) (fun _ ->
+            let pipe_id = !next_pipe in
+            incr next_pipe;
             {
               set_name = set;
+              pipe_id;
               capacity = max 4 (stage_ops * cfg.Config.window_factor);
               stage_ops;
               window = [];
+              stepped = false;
             }))
       spec.Spec.task_sets
     |> Array.of_list
   in
   let total_stage_ops = Array.fold_left (fun acc p -> acc + p.stage_ops) 0 pipes in
+  let attr = Attribution.create () in
+  let instrumented = Sink.enabled sink in
+  let squashes = ref [] in
   let cycle = ref 0 in
   let active_op_cycles = ref 0 in
   let peak_in_flight = ref 0 in
@@ -121,11 +142,19 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
     Array.iter
       (fun p ->
         let left = Hashtbl.find pops_left p.set_name in
-        if left > 0 && List.length p.window < p.capacity then begin
+        if List.length p.window >= p.capacity then begin
+          if instrumented && Engine.pending_count eng > 0 then
+            Sink.emit sink ~ts:now (Event.Queue_full { set = p.set_name; pipe = p.pipe_id })
+        end
+        else if left > 0 then begin
           match Engine.pop_task eng p.set_name with
           | Some tsk ->
               Hashtbl.replace pops_left p.set_name (left - 1);
-              p.window <- { ready = now; tsk } :: p.window
+              if instrumented then
+                Sink.emit sink ~ts:now
+                  (Event.Task_dispatch
+                     { set = p.set_name; pipe = p.pipe_id; tid = tsk.Engine.tid });
+              p.window <- { ready = now; ops_done = 0; tsk } :: p.window
           | None -> ()
         end)
       pipes;
@@ -146,7 +175,10 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
             match Engine.pop_task eng set with
             | Some tsk ->
                 let p = Array.to_list pipes |> List.find (fun p -> p.set_name = set) in
-                p.window <- { ready = now; tsk } :: p.window
+                if instrumented then
+                  Sink.emit sink ~ts:now
+                    (Event.Task_dispatch { set; pipe = p.pipe_id; tid = tsk.Engine.tid });
+                p.window <- { ready = now; ops_done = 0; tsk } :: p.window
             | None -> ()
           end
       | (Some _ | None), (Some _ | None) -> ()
@@ -172,6 +204,8 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
                   match Engine.step eng f.tsk with
                   | Engine.Stepped ->
                       incr active_op_cycles;
+                      p.stepped <- true;
+                      f.ops_done <- f.ops_done + 1;
                       let delta = (Engine.stats eng).Engine.activated - activated_before in
                       let lat =
                         match op with
@@ -184,9 +218,32 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
                   | Engine.Blocked ->
                       (* parked in a rule lane at the rendezvous *)
                       incr active_op_cycles;
+                      p.stepped <- true;
+                      f.ops_done <- f.ops_done + 1;
+                      if instrumented then
+                        Sink.emit sink ~ts:now
+                          (Event.Rendezvous_park
+                             { set = p.set_name; pipe = p.pipe_id; tid = f.tsk.Engine.tid });
                       any_finish := true
-                  | Engine.Finished _ ->
+                  | Engine.Finished outcome ->
                       incr active_op_cycles;
+                      p.stepped <- true;
+                      f.ops_done <- f.ops_done + 1;
+                      begin
+                        match outcome with
+                        | Engine.Aborted_task | Engine.Retried_task ->
+                            squashes := (p.set_name, f.ops_done) :: !squashes
+                        | Engine.Committed_task -> ()
+                      end;
+                      if instrumented then
+                        Sink.emit sink ~ts:now
+                          (Event.Task_finish
+                             {
+                               set = p.set_name;
+                               pipe = p.pipe_id;
+                               tid = f.tsk.Engine.tid;
+                               outcome = event_outcome outcome;
+                             });
                       any_finish := true
                 end
             end)
@@ -208,7 +265,13 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
                 | Some b -> if List.length p.window < List.length b.window then best := Some p)
             pipes;
           match !best with
-          | Some p -> p.window <- { ready = now + 1; tsk } :: p.window
+          | Some p ->
+              if instrumented then begin
+                Sink.emit sink ~ts:now (Event.Rendezvous_resume { set; tid = tsk.Engine.tid });
+                Sink.emit sink ~ts:(now + 1)
+                  (Event.Task_dispatch { set; pipe = p.pipe_id; tid = tsk.Engine.tid })
+              end;
+              p.window <- { ready = now + 1; ops_done = 0; tsk } :: p.window
           | None -> failwith "Accelerator.run: no pipeline for resumed task")
         tasks
     in
@@ -230,6 +293,49 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
       else if next_ready < max_int then max (now + 1) next_ready
       else now + 1
     in
+    (* stall attribution: charge each pipeline exactly (next - now)
+       cycles, so the buckets always decompose cycles x pipelines *)
+    let dt = next - now in
+    let waiting_sets =
+      lazy
+        (let tbl = Hashtbl.create 4 in
+         List.iter
+           (fun (w : Engine.task) ->
+             Hashtbl.replace tbl (List.nth spec.Spec.task_sets w.Engine.set_slot).Spec.ts_name ())
+           (Engine.waiting_tasks eng);
+         tbl)
+    in
+    let set_waiting s = Hashtbl.mem (Lazy.force waiting_sets) s in
+    let pending_now = Engine.pending_count eng in
+    Array.iter
+      (fun p ->
+        let cls =
+          if p.stepped then Attribution.Busy
+          else if p.window <> [] then Attribution.Mem_stall
+          else if set_waiting p.set_name then Attribution.Rendezvous_stall
+          else if pending_now > 0 && Hashtbl.find pops_left p.set_name = 0 then
+            Attribution.Queue_full
+          else Attribution.Idle
+        in
+        Attribution.charge attr ~set:p.set_name cls 1;
+        if dt > 1 then begin
+          (* fast-forwarded cycles: nothing issues or executes *)
+          let wait_cls =
+            if p.window <> [] then Attribution.Mem_stall
+            else if set_waiting p.set_name then Attribution.Rendezvous_stall
+            else Attribution.Idle
+          in
+          Attribution.charge attr ~set:p.set_name wait_cls (dt - 1)
+        end;
+        p.stepped <- false)
+      pipes;
+    List.iter
+      (fun (set, ops) ->
+        ignore
+          (Attribution.reclassify attr ~set ~src:Attribution.Busy ~dst:Attribution.Squash_waste
+             ops))
+      !squashes;
+    squashes := [];
     (* deadlock detection: nothing in flight, nothing pending, only
        waiting tasks whose rules cannot resolve *)
     if
@@ -263,4 +369,5 @@ let run ?(config = Config.default) ?(auto_size = true) ~spec ~bindings ~state ~i
     pipelines =
       List.map (fun ts -> (ts.Spec.ts_name, Config.pipeline_count cfg ts.Spec.ts_name))
         spec.Spec.task_sets;
+    attribution = attr;
   }

@@ -10,7 +10,16 @@
     latency plus their access burst, rendezvous park the task in a rule
     lane until resolution.  Because semantics and timing are strictly
     separated, every accelerated run is validated with the same checks
-    as the software runs. *)
+    as the software runs.
+
+    The simulator is observable: pass a {!Agp_obs.Sink} to capture the
+    structured event stream (task dispatch/finish, rendezvous
+    park/resume, queue backpressure, cache and link traffic — see
+    {!Agp_obs.Event}), and every run returns a per-cycle stall
+    {!Agp_obs.Attribution} in its report.  With the default null sink
+    the instrumentation reduces to predicted-false branches, and the
+    simulated timing is identical either way (the observer never
+    perturbs the model). *)
 
 type report = {
   cycles : int;
@@ -25,11 +34,15 @@ type report = {
   bytes_over_link : int;
   peak_in_flight : int;
   pipelines : (string * int) list;  (** replication actually used *)
+  attribution : Agp_obs.Attribution.t;
+      (** where the pipeline-cycles went: per task set, buckets sum to
+          [cycles x pipelines of that set] *)
 }
 
 val run :
   ?config:Config.t ->
   ?auto_size:bool ->
+  ?sink:Agp_obs.Sink.t ->
   spec:Agp_core.Spec.t ->
   bindings:Agp_core.Spec.bindings ->
   state:Agp_core.State.t ->
@@ -39,5 +52,7 @@ val run :
 (** Simulate to quiescence, mutating [state] exactly as the software
     runtimes would.  With [auto_size] (default true) the pipeline
     replication is chosen by {!Resource.heuristic_pipelines} when the
-    configuration leaves it empty.
+    configuration leaves it empty.  [sink] (default
+    {!Agp_obs.Sink.null}) captures the event stream; it is also
+    threaded into the internal {!Memory}.
     @raise Failure on deadlock or divergence. *)

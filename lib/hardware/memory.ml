@@ -12,9 +12,10 @@ type t = {
   tags : int array; (* -1 = invalid; direct mapped *)
   n_lines : int;
   st : stats;
+  sink : Agp_obs.Sink.t;
 }
 
-let create (cfg : Config.t) =
+let create ?(sink = Agp_obs.Sink.null) (cfg : Config.t) =
   let n_lines = cfg.Config.cache_bytes / cfg.Config.line_bytes in
   {
     cfg;
@@ -22,6 +23,7 @@ let create (cfg : Config.t) =
     n_lines;
     st =
       { reads = 0; writes = 0; hits = 0; misses = 0; bytes_over_link = 0; link_busy_until = 0.0 };
+    sink;
   }
 
 let access t ~now ~addr ~is_write =
@@ -31,6 +33,8 @@ let access t ~now ~addr ~is_write =
   let slot = line mod t.n_lines in
   if t.tags.(slot) = line then begin
     st.hits <- st.hits + 1;
+    if Agp_obs.Sink.enabled t.sink then
+      Agp_obs.Sink.emit t.sink ~ts:now (Agp_obs.Event.Cache_access { addr; is_write; hit = true });
     now + t.cfg.Config.hit_latency
   end
   else begin
@@ -41,7 +45,14 @@ let access t ~now ~addr ~is_write =
     let start = Float.max (float_of_int now) st.link_busy_until in
     st.link_busy_until <- start +. line_time;
     st.bytes_over_link <- st.bytes_over_link + t.cfg.Config.line_bytes;
-    int_of_float (Float.ceil (start +. line_time)) + t.cfg.Config.miss_latency
+    let completion = int_of_float (Float.ceil (start +. line_time)) + t.cfg.Config.miss_latency in
+    if Agp_obs.Sink.enabled t.sink then begin
+      Agp_obs.Sink.emit t.sink ~ts:now (Agp_obs.Event.Cache_access { addr; is_write; hit = false });
+      Agp_obs.Sink.emit t.sink ~ts:now
+        (Agp_obs.Event.Link_transfer
+           { bytes = t.cfg.Config.line_bytes; start = int_of_float start; finish = completion })
+    end;
+    completion
   end
 
 let access_burst t ~now ~addrs ~dependent =

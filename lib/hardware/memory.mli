@@ -19,7 +19,10 @@ type stats = {
   mutable link_busy_until : float;
 }
 
-val create : Config.t -> t
+val create : ?sink:Agp_obs.Sink.t -> Config.t -> t
+(** [sink] (default {!Agp_obs.Sink.null}) receives a [Cache_access]
+    event per request and a [Link_transfer] per miss, timestamped at
+    the request's issue cycle. *)
 
 val access : t -> now:int -> addr:int -> is_write:bool -> int
 (** Completion cycle of a single request issued at [now]. *)

@@ -3,11 +3,13 @@ type t = {
   n_ports : int;
   mutable diagonal : int; (* rotating priority *)
   counts : int array;
+  sink : Agp_obs.Sink.t;
+  mutable now : int; (* one allocation round per cycle *)
 }
 
-let create ~banks ~ports =
+let create ?(sink = Agp_obs.Sink.null) ~banks ~ports () =
   if banks <= 0 || ports <= 0 then invalid_arg "Wavefront.create: sizes must be positive";
-  { n_banks = banks; n_ports = ports; diagonal = 0; counts = Array.make banks 0 }
+  { n_banks = banks; n_ports = ports; diagonal = 0; counts = Array.make banks 0; sink; now = 0 }
 
 let banks t = t.n_banks
 
@@ -40,7 +42,14 @@ let allocate t ~requests =
     done
   done;
   t.diagonal <- (t.diagonal + 1) mod n;
-  List.rev !grants
+  let grants = List.rev !grants in
+  if Agp_obs.Sink.enabled t.sink then
+    List.iter
+      (fun (bank, port) ->
+        Agp_obs.Sink.emit t.sink ~ts:t.now (Agp_obs.Event.Arb_grant { bank; port }))
+      grants;
+  t.now <- t.now + 1;
+  grants
 
 let allocate_uniform t ~requesting =
   if Array.length requesting <> t.n_banks then

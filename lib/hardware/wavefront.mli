@@ -11,7 +11,10 @@
 
 type t
 
-val create : banks:int -> ports:int -> t
+val create : ?sink:Agp_obs.Sink.t -> banks:int -> ports:int -> unit -> t
+(** [sink] (default {!Agp_obs.Sink.null}) receives one [Arb_grant]
+    event per granted (bank, port) pair, timestamped with the
+    allocation round (each {!allocate} call is one cycle). *)
 
 val banks : t -> int
 

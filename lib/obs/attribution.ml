@@ -1,0 +1,140 @@
+module Table = Agp_util.Table
+
+type bucket =
+  | Busy
+  | Mem_stall
+  | Rendezvous_stall
+  | Queue_full
+  | Squash_waste
+  | Idle
+
+let buckets = [ Busy; Mem_stall; Rendezvous_stall; Queue_full; Squash_waste; Idle ]
+
+let bucket_index = function
+  | Busy -> 0
+  | Mem_stall -> 1
+  | Rendezvous_stall -> 2
+  | Queue_full -> 3
+  | Squash_waste -> 4
+  | Idle -> 5
+
+let bucket_name = function
+  | Busy -> "busy"
+  | Mem_stall -> "mem-stall"
+  | Rendezvous_stall -> "rdv-stall"
+  | Queue_full -> "queue-full"
+  | Squash_waste -> "squash-waste"
+  | Idle -> "idle"
+
+type t = {
+  tbl : (string, int array) Hashtbl.t;
+  mutable order : string list; (* reverse first-charge order *)
+}
+
+let create () = { tbl = Hashtbl.create 4; order = [] }
+
+let row t set =
+  match Hashtbl.find_opt t.tbl set with
+  | Some r -> r
+  | None ->
+      let r = Array.make (List.length buckets) 0 in
+      Hashtbl.add t.tbl set r;
+      t.order <- set :: t.order;
+      r
+
+let charge t ~set bucket n =
+  if n < 0 then invalid_arg "Attribution.charge: negative amount";
+  let r = row t set in
+  let i = bucket_index bucket in
+  r.(i) <- r.(i) + n
+
+let reclassify t ~set ~src ~dst n =
+  if n < 0 then invalid_arg "Attribution.reclassify: negative amount";
+  let r = row t set in
+  let si = bucket_index src and di = bucket_index dst in
+  let moved = min n r.(si) in
+  r.(si) <- r.(si) - moved;
+  r.(di) <- r.(di) + moved;
+  moved
+
+let get t ~set bucket =
+  match Hashtbl.find_opt t.tbl set with
+  | None -> 0
+  | Some r -> r.(bucket_index bucket)
+
+let sets t = List.rev t.order
+
+let per_set t =
+  List.map
+    (fun set ->
+      let r = Hashtbl.find t.tbl set in
+      (set, List.map (fun b -> (b, r.(bucket_index b))) buckets))
+    (sets t)
+
+let set_total t ~set =
+  match Hashtbl.find_opt t.tbl set with
+  | None -> 0
+  | Some r -> Array.fold_left ( + ) 0 r
+
+let total t = List.fold_left (fun acc set -> acc + set_total t ~set) 0 (sets t)
+
+let equal a b =
+  let pa = per_set a and pb = per_set b in
+  List.length pa = List.length pb && List.for_all2 ( = ) pa pb
+
+type summary = {
+  busy_frac : float;
+  mem_frac : float;
+  rendezvous_frac : float;
+  queue_frac : float;
+  squash_frac : float;
+  idle_frac : float;
+}
+
+let summary t =
+  let tot = total t in
+  let frac b =
+    if tot = 0 then 0.0
+    else
+      float_of_int (List.fold_left (fun acc set -> acc + get t ~set b) 0 (sets t))
+      /. float_of_int tot
+  in
+  {
+    busy_frac = frac Busy;
+    mem_frac = frac Mem_stall;
+    rendezvous_frac = frac Rendezvous_stall;
+    queue_frac = frac Queue_full;
+    squash_frac = frac Squash_waste;
+    idle_frac = frac Idle;
+  }
+
+let dominant_stall s =
+  List.fold_left
+    (fun (bn, bf) (n, f) -> if f > bf then (n, f) else (bn, bf))
+    (bucket_name Mem_stall, s.mem_frac)
+    [
+      (bucket_name Rendezvous_stall, s.rendezvous_frac);
+      (bucket_name Queue_full, s.queue_frac);
+      (bucket_name Squash_waste, s.squash_frac);
+      (bucket_name Idle, s.idle_frac);
+    ]
+
+let render t =
+  let tbl = Table.create ("task set" :: "pipe-cycles" :: List.map bucket_name buckets) in
+  let cell n tot =
+    if tot = 0 then string_of_int n
+    else Printf.sprintf "%d (%.1f%%)" n (100.0 *. float_of_int n /. float_of_int tot)
+  in
+  List.iter
+    (fun (set, bs) ->
+      let tot = set_total t ~set in
+      Table.add_row tbl
+        (set :: string_of_int tot :: List.map (fun (_, n) -> cell n tot) bs))
+    (per_set t);
+  let grand = total t in
+  Table.add_row tbl
+    ("TOTAL" :: string_of_int grand
+    :: List.map
+         (fun b -> cell (List.fold_left (fun acc set -> acc + get t ~set b) 0 (sets t)) grand)
+         buckets);
+  Table.render tbl

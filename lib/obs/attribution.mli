@@ -1,0 +1,78 @@
+(** Per-cycle stall attribution: where do the pipeline-cycles go?
+
+    Every (pipeline, cycle) pair of a simulated run is charged to
+    exactly one bucket, so per task set (and in total) the buckets sum
+    to [cycles x pipelines] — the invariant that makes the breakdown a
+    decomposition rather than a collection of overlapping counters.
+
+    Bucket semantics (priority order, as classified by the simulator):
+    - {!Busy}: at least one in-flight task advanced an operation in the
+      pipeline this cycle;
+    - {!Mem_stall}: tasks are in flight but all are waiting out
+      operation latency (dominated by cache misses and the QPI link);
+    - {!Rendezvous_stall}: the window is empty while tasks of the set
+      sit parked in rule lanes;
+    - {!Queue_full}: the window is empty, tasks are pending, but queue
+      bank bandwidth was exhausted this cycle;
+    - {!Squash_waste}: busy cycles retroactively reclassified because
+      the task that consumed them was aborted or retried (clamped so
+      the sum invariant holds; squashes of already-parked tasks are not
+      chargeable and stay in {!Busy});
+    - {!Idle}: nothing to do — the set has no pending, in-flight or
+      parked work. *)
+
+type bucket =
+  | Busy
+  | Mem_stall
+  | Rendezvous_stall
+  | Queue_full
+  | Squash_waste
+  | Idle
+
+val buckets : bucket list
+(** All six, in rendering order. *)
+
+val bucket_name : bucket -> string
+
+type t
+
+val create : unit -> t
+
+val charge : t -> set:string -> bucket -> int -> unit
+(** Add [n] pipeline-cycles ([n >= 0]) to a bucket of a task set. *)
+
+val reclassify : t -> set:string -> src:bucket -> dst:bucket -> int -> int
+(** Move up to [n] cycles between buckets of one set, clamped to the
+    source's balance; returns the amount actually moved. *)
+
+val get : t -> set:string -> bucket -> int
+
+val per_set : t -> (string * (bucket * int) list) list
+(** Sets in first-charge order, each with all six buckets. *)
+
+val set_total : t -> set:string -> int
+
+val total : t -> int
+(** Sum over all sets and buckets — equals [cycles x total pipelines]
+    for a completed simulation. *)
+
+val equal : t -> t -> bool
+
+type summary = {
+  busy_frac : float;
+  mem_frac : float;
+  rendezvous_frac : float;
+  queue_frac : float;
+  squash_frac : float;
+  idle_frac : float;
+}
+
+val summary : t -> summary
+(** Fractions of {!total} (all zero for an empty attribution). *)
+
+val dominant_stall : summary -> string * float
+(** The largest non-busy bucket, as [(name, fraction)]. *)
+
+val render : t -> string
+(** Aligned table: one row per set plus a totals row, each bucket as
+    ["cycles (share%)"]. *)

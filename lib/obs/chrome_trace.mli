@@ -1,0 +1,27 @@
+(** Chrome trace-event JSON export ([chrome://tracing] / Perfetto).
+
+    Converts a captured [(cycle, event)] stream into the Trace Event
+    Format: one process row group per component class and one thread
+    row per component instance, all with stable ids derived from sorted
+    component names (so two exports of the same events are bitwise
+    identical):
+
+    - pid 1 "task pipelines": one row per (set, pipeline); complete
+      ["X"] spans from dispatch to finish/park, instant queue-full
+      marks;
+    - pid 2 "rule engines": one row per task set; ["X"] spans from
+      rendezvous park to resume;
+    - pid 3 "memory": QPI line transfers as ["X"] spans on the link
+      row, cumulative hit/miss totals as ["C"] counter samples;
+    - pid 4 "wavefront arbiter": instant grant marks per bank.
+
+    Timestamps are simulator cycles written into the [ts]/[dur] fields
+    (microseconds as far as the viewer is concerned — relative shape is
+    what matters).  Events are emitted sorted by [ts], metadata first. *)
+
+val to_json : ?trace_name:string -> (int * Event.t) list -> Json.t
+(** Spans still open when the stream ends are closed at the maximum
+    observed timestamp with [args.end = "open"]. *)
+
+val to_string : ?trace_name:string -> (int * Event.t) list -> string
+(** [Json.to_string] of {!to_json}. *)

@@ -1,0 +1,37 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability subsystem has to emit machine-readable artifacts
+    (Chrome trace files, metrics dumps) and the test suite has to check
+    they are well-formed, without pulling a JSON dependency into the
+    build.  This module is deliberately small: ASCII-oriented strings
+    (a [\u....] escape above 127 is folded to ['?'] on parse), ints and
+    floats kept distinct, objects as association lists in insertion
+    order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; trailing garbage is an error.
+    Numbers without [.], [e] or [E] come back as [Int]. *)
+
+val member : string -> t -> t option
+(** First binding of a key in an [Obj]; [None] elsewhere. *)
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_list : t -> t list option
+
+val to_str : t -> string option

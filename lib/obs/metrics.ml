@@ -1,0 +1,159 @@
+type counter = {
+  c_name : string;
+  mutable c_count : int;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  bounds : int array; (* strictly increasing inclusive upper bounds *)
+  buckets : int array; (* length bounds + 1; last is overflow *)
+  mutable h_sum : int;
+  mutable h_count : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type registry = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : metric list; (* reverse insertion order *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let register reg name make =
+  match Hashtbl.find_opt reg.tbl name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add reg.tbl name m;
+      reg.order <- m :: reg.order;
+      m
+
+let kind_error name want =
+  invalid_arg (Printf.sprintf "Metrics: %S is already registered and is not a %s" name want)
+
+let counter reg name =
+  match register reg name (fun () -> Counter { c_name = name; c_count = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> kind_error name "counter"
+
+let gauge reg name =
+  match register reg name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> kind_error name "gauge"
+
+let histogram reg name ~buckets =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    buckets;
+  let make () =
+    Histogram
+      {
+        h_name = name;
+        bounds = Array.copy buckets;
+        buckets = Array.make (Array.length buckets + 1) 0;
+        h_sum = 0;
+        h_count = 0;
+      }
+  in
+  match register reg name make with
+  | Histogram h ->
+      if h.bounds <> buckets then
+        invalid_arg (Printf.sprintf "Metrics.histogram: %S re-registered with different bounds" name);
+      h
+  | Counter _ | Gauge _ -> kind_error name "histogram"
+
+let incr c = c.c_count <- c.c_count + 1
+
+let add c n = c.c_count <- c.c_count + n
+
+let count c = c.c_count
+
+let set g v = g.g_value <- v
+
+let value g = g.g_value
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n then n else if v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_sum <- h.h_sum + v;
+  h.h_count <- h.h_count + 1
+
+let bucket_counts h =
+  let configured =
+    Array.to_list (Array.mapi (fun i b -> (Some b, h.buckets.(i))) h.bounds)
+  in
+  configured @ [ (None, h.buckets.(Array.length h.bounds)) ]
+
+let sample_count h = h.h_count
+
+let sample_sum h = h.h_sum
+
+let metrics reg = List.rev reg.order
+
+let to_text reg =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "counter   %-32s %d\n" c.c_name c.c_count)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "gauge     %-32s %g\n" g.g_name g.g_value)
+      | Histogram h ->
+          let mean =
+            if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "histogram %-32s count=%d sum=%d mean=%.1f" h.h_name h.h_count h.h_sum
+               mean);
+          List.iter
+            (fun (bound, n) ->
+              if n > 0 then
+                match bound with
+                | Some b -> Buffer.add_string buf (Printf.sprintf " [<=%d: %d]" b n)
+                | None -> Buffer.add_string buf (Printf.sprintf " [overflow: %d]" n))
+            (bucket_counts h);
+          Buffer.add_char buf '\n')
+    (metrics reg);
+  Buffer.contents buf
+
+let to_json reg =
+  Json.Obj
+    (List.map
+       (fun m ->
+         match m with
+         | Counter c -> (c.c_name, Json.Int c.c_count)
+         | Gauge g -> (g.g_name, Json.Float g.g_value)
+         | Histogram h ->
+             ( h.h_name,
+               Json.Obj
+                 [
+                   ("count", Json.Int h.h_count);
+                   ("sum", Json.Int h.h_sum);
+                   ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (bound, n) ->
+                            Json.Obj
+                              [
+                                ( "le",
+                                  match bound with
+                                  | Some b -> Json.Int b
+                                  | None -> Json.Null );
+                                ("n", Json.Int n);
+                              ])
+                          (bucket_counts h)) );
+                 ] ))
+       (metrics reg))

@@ -1,0 +1,57 @@
+(** Cheap named metrics: counters, gauges and fixed-bucket histograms
+    behind a registry, with text and JSON rendering.
+
+    Updates are single field writes so instrumentation can stay in hot
+    simulator paths.  A registry hands out at most one metric per name
+    (re-asking returns the same instance) and remembers insertion order
+    for stable rendering. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+type registry
+
+val create : unit -> registry
+
+val counter : registry -> string -> counter
+(** Find-or-create.  @raise Invalid_argument if the name is already
+    registered as a different metric kind. *)
+
+val gauge : registry -> string -> gauge
+
+val histogram : registry -> string -> buckets:int array -> histogram
+(** [buckets] are strictly increasing inclusive upper bounds; one
+    overflow bucket is added.  Re-asking with different bounds raises.
+    @raise Invalid_argument on empty or non-increasing bounds. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val count : counter -> int
+
+val set : gauge -> float -> unit
+
+val value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** Record one sample into its bucket (last bucket catches overflow). *)
+
+val bucket_counts : histogram -> (int option * int) list
+(** [(Some bound, n)] per configured bucket, then [(None, n)] for
+    overflow. *)
+
+val sample_count : histogram -> int
+
+val sample_sum : histogram -> int
+
+val to_text : registry -> string
+(** One line per metric, insertion order. *)
+
+val to_json : registry -> Json.t
+(** Object keyed by metric name; counters as ints, gauges as floats,
+    histograms as [{"count";"sum";"buckets":[{"le","n"}...]}] where the
+    overflow bucket's ["le"] is [null]. *)

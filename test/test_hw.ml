@@ -137,7 +137,7 @@ let test_resource_scale_monotone () =
 module Wavefront = Agp_hw.Wavefront
 
 let test_wavefront_conflict_free () =
-  let w = Wavefront.create ~banks:4 ~ports:4 in
+  let w = Wavefront.create ~banks:4 ~ports:4 () in
   let grants = Wavefront.allocate_uniform w ~requesting:[| true; true; true; true |] in
   check Alcotest.int "full matching" 4 (List.length grants);
   let banks = List.map fst grants and ports = List.map snd grants in
@@ -145,7 +145,7 @@ let test_wavefront_conflict_free () =
   check Alcotest.int "ports distinct" 4 (List.length (List.sort_uniq compare ports))
 
 let test_wavefront_partial_requests () =
-  let w = Wavefront.create ~banks:3 ~ports:2 in
+  let w = Wavefront.create ~banks:3 ~ports:2 () in
   let grants = Wavefront.allocate_uniform w ~requesting:[| true; false; true |] in
   check Alcotest.int "two grants" 2 (List.length grants);
   check Alcotest.bool "bank 1 silent" true (not (List.mem_assoc 1 grants))
@@ -153,7 +153,7 @@ let test_wavefront_partial_requests () =
 let test_wavefront_fairness () =
   (* three banks contending for ONE port: the rotating diagonal must
      spread grants evenly over many cycles *)
-  let w = Wavefront.create ~banks:3 ~ports:1 in
+  let w = Wavefront.create ~banks:3 ~ports:1 () in
   for _ = 1 to 300 do
     ignore (Wavefront.allocate_uniform w ~requesting:[| true; true; true |])
   done;
@@ -163,7 +163,7 @@ let test_wavefront_fairness () =
     counts
 
 let test_wavefront_respects_request_matrix () =
-  let w = Wavefront.create ~banks:2 ~ports:2 in
+  let w = Wavefront.create ~banks:2 ~ports:2 () in
   (* bank 0 only wants port 1; bank 1 only wants port 0 *)
   let grants =
     Wavefront.allocate w ~requests:[| [| false; true |]; [| true; false |] |]
@@ -172,7 +172,7 @@ let test_wavefront_respects_request_matrix () =
     (List.mem (0, 1) grants && List.mem (1, 0) grants)
 
 let test_wavefront_shape_check () =
-  let w = Wavefront.create ~banks:2 ~ports:2 in
+  let w = Wavefront.create ~banks:2 ~ports:2 () in
   Alcotest.check_raises "bank mismatch"
     (Invalid_argument "Wavefront.allocate_uniform: bank mismatch") (fun () ->
       ignore (Wavefront.allocate_uniform w ~requesting:[| true |]))

@@ -1,0 +1,411 @@
+(* Tests for the Agp_obs observability subsystem: metrics, JSON, sinks,
+   Chrome trace export, stall attribution, and the zero-observer-effect
+   guarantee on the accelerator. *)
+
+module Json = Agp_obs.Json
+module Metrics = Agp_obs.Metrics
+module Event = Agp_obs.Event
+module Sink = Agp_obs.Sink
+module Chrome_trace = Agp_obs.Chrome_trace
+module Attribution = Agp_obs.Attribution
+module Accelerator = Agp_hw.Accelerator
+module Config = Agp_hw.Config
+module Memory = Agp_hw.Memory
+module Wavefront = Agp_hw.Wavefront
+module App_instance = Agp_apps.App_instance
+module Bfs_app = Agp_apps.Bfs_app
+module Engine = Agp_core.Engine
+
+let check = Alcotest.check
+
+(* --- JSON --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Float 1.5);
+        ("s", Json.String "he \"quoted\"\n\ttab\\slash");
+        ("l", Json.List [ Json.Null; Json.Bool true; Json.Bool false; Json.Int (-7) ]);
+        ("nested", Json.Obj [ ("x", Json.List []); ("y", Json.Obj []) ]);
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Ok v -> check Alcotest.bool "roundtrip equal" true (v = doc)
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_parse_basics () =
+  check Alcotest.bool "int" true (Json.parse "42" = Ok (Json.Int 42));
+  check Alcotest.bool "negative" true (Json.parse "-3" = Ok (Json.Int (-3)));
+  check Alcotest.bool "float" true (Json.parse "2.5" = Ok (Json.Float 2.5));
+  check Alcotest.bool "exponent" true (Json.parse "1e3" = Ok (Json.Float 1000.0));
+  check Alcotest.bool "ws" true (Json.parse "  [ 1 , 2 ]  " = Ok (Json.List [ Json.Int 1; Json.Int 2 ]));
+  check Alcotest.bool "escape" true (Json.parse {|"aAb"|} = Ok (Json.String "aAb"))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "accepted malformed %S" s
+    | Error _ -> ()
+  in
+  List.iter bad [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("n", Json.Int 3); ("f", Json.Float 0.5) ] in
+  check Alcotest.bool "member" true (Json.member "n" v = Some (Json.Int 3));
+  check Alcotest.bool "missing" true (Json.member "zzz" v = None);
+  check Alcotest.bool "to_float of int" true (Json.to_float (Json.Int 2) = Some 2.0)
+
+(* --- metrics --- *)
+
+let test_metrics_counter_gauge () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "tasks" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check Alcotest.int "counter value" 5 (Metrics.count c);
+  check Alcotest.bool "same instance" true (Metrics.counter reg "tasks" == c);
+  let g = Metrics.gauge reg "util" in
+  Metrics.set g 0.75;
+  check (Alcotest.float 1e-9) "gauge value" 0.75 (Metrics.value g);
+  let text = Metrics.to_text reg in
+  check Alcotest.bool "text mentions counter" true
+    (Astring.String.is_infix ~affix:"tasks" text);
+  match Json.parse (Json.to_string (Metrics.to_json reg)) with
+  | Ok v ->
+      check Alcotest.bool "json counter" true (Json.member "tasks" v = Some (Json.Int 5));
+      check Alcotest.bool "json gauge" true (Json.member "util" v = Some (Json.Float 0.75))
+  | Error e -> Alcotest.failf "metrics json malformed: %s" e
+
+let test_metrics_histogram () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" ~buckets:[| 10; 100 |] in
+  List.iter (Metrics.observe h) [ 1; 10; 11; 50; 1000 ];
+  check Alcotest.int "count" 5 (Metrics.sample_count h);
+  check Alcotest.int "sum" 1072 (Metrics.sample_sum h);
+  check Alcotest.bool "buckets" true
+    (Metrics.bucket_counts h = [ (Some 10, 2); (Some 100, 2); (None, 1) ])
+
+let test_metrics_kind_mismatch () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "x");
+  (match Metrics.gauge reg "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gauge over counter name accepted");
+  (match Metrics.histogram reg "x" ~buckets:[| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "histogram over counter name accepted");
+  match Metrics.histogram reg "h" ~buckets:[| 5; 5 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing bounds accepted"
+
+(* --- sinks --- *)
+
+let ev i = Event.Arb_grant { bank = i; port = 0 }
+
+let test_sink_null () =
+  check Alcotest.bool "disabled" false (Sink.enabled Sink.null);
+  Sink.emit Sink.null ~ts:1 (ev 0);
+  check Alcotest.int "no events" 0 (List.length (Sink.events Sink.null));
+  check Alcotest.int "no count" 0 (Sink.count Sink.null)
+
+let test_sink_collect () =
+  let s = Sink.collect () in
+  check Alcotest.bool "enabled" true (Sink.enabled s);
+  for i = 0 to 9 do
+    Sink.emit s ~ts:i (ev i)
+  done;
+  let evs = Sink.events s in
+  check Alcotest.int "all kept" 10 (List.length evs);
+  check Alcotest.bool "chronological" true (List.map fst evs = List.init 10 Fun.id);
+  check Alcotest.int "none dropped" 0 (Sink.dropped s);
+  Sink.clear s;
+  check Alcotest.int "cleared" 0 (Sink.count s)
+
+let test_sink_ring () =
+  let s = Sink.ring ~capacity:4 in
+  for i = 0 to 9 do
+    Sink.emit s ~ts:i (ev i)
+  done;
+  let evs = Sink.events s in
+  check Alcotest.int "bounded" 4 (List.length evs);
+  check Alcotest.bool "keeps newest, oldest first" true (List.map fst evs = [ 6; 7; 8; 9 ]);
+  check Alcotest.int "total emitted" 10 (Sink.count s);
+  check Alcotest.int "dropped" 6 (Sink.dropped s);
+  match Sink.ring ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero capacity accepted"
+
+(* --- instrumented components --- *)
+
+let test_memory_events () =
+  let sink = Sink.collect () in
+  let mem = Memory.create ~sink Config.default in
+  ignore (Memory.access mem ~now:0 ~addr:0 ~is_write:false);
+  ignore (Memory.access mem ~now:100 ~addr:8 ~is_write:true);
+  let kinds = List.map (fun (_, e) -> Event.kind e) (Sink.events sink) in
+  check (Alcotest.list Alcotest.string) "miss emits access + transfer, hit only access"
+    [ "cache_access"; "link_transfer"; "cache_access" ] kinds;
+  let hits =
+    List.filter_map
+      (fun (_, e) ->
+        match e with
+        | Event.Cache_access { hit; _ } -> Some hit
+        | _ -> None)
+      (Sink.events sink)
+  in
+  check (Alcotest.list Alcotest.bool) "hit flags" [ false; true ] hits
+
+let test_wavefront_events () =
+  let sink = Sink.collect () in
+  let w = Wavefront.create ~sink ~banks:2 ~ports:2 () in
+  ignore (Wavefront.allocate_uniform w ~requesting:[| true; true |]);
+  ignore (Wavefront.allocate_uniform w ~requesting:[| true; false |]);
+  let evs = Sink.events sink in
+  check Alcotest.int "three grants" 3 (List.length evs);
+  check Alcotest.bool "round timestamps" true
+    (List.map fst evs = [ 0; 0; 1 ]);
+  check Alcotest.bool "all grants" true
+    (List.for_all (fun (_, e) -> Event.kind e = "arb_grant") evs)
+
+(* --- accelerator observability end to end --- *)
+
+let small_app () =
+  Bfs_app.speculative
+    (Bfs_app.workload_of_graph (Agp_graph.Generator.road ~seed:3 ~width:12 ~height:8) 0)
+
+let observed_run ?config ?sink () =
+  let app = small_app () in
+  let run = app.App_instance.fresh () in
+  let report =
+    Accelerator.run ?config ?sink ~spec:app.App_instance.spec
+      ~bindings:run.App_instance.bindings ~state:run.App_instance.state
+      ~initial:run.App_instance.initial ()
+  in
+  (report, run)
+
+let test_accel_event_taxonomy () =
+  let sink = Sink.collect () in
+  let report, run = observed_run ~sink () in
+  check (Alcotest.result Alcotest.unit Alcotest.string) "still valid" (Ok ())
+    (run.App_instance.check ());
+  let evs = Sink.events sink in
+  let has k = List.exists (fun (_, e) -> Event.kind e = k) evs in
+  List.iter
+    (fun k -> check Alcotest.bool ("has " ^ k) true (has k))
+    [
+      "task_dispatch";
+      "task_finish";
+      "rendezvous_park";
+      "rendezvous_resume";
+      "cache_access";
+      "link_transfer";
+    ];
+  (* every dispatch/finish timestamp lies within the simulated run *)
+  check Alcotest.bool "timestamps within run" true
+    (List.for_all (fun (ts, _) -> ts >= 0 && ts <= report.Accelerator.cycles + 1) evs);
+  (* commits observed in the stream match the engine's commit count *)
+  let commits =
+    List.length
+      (List.filter
+         (fun (_, e) ->
+           match e with
+           | Event.Task_finish { outcome = Event.Commit; _ } -> true
+           | _ -> false)
+         evs)
+  in
+  check Alcotest.int "commit events = committed tasks"
+    report.Accelerator.engine_stats.Engine.committed commits
+
+let test_accel_attribution_sums () =
+  let report, _ = observed_run () in
+  let n_pipes =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 report.Accelerator.pipelines
+  in
+  let attr = report.Accelerator.attribution in
+  check Alcotest.int "buckets sum to cycles x pipelines"
+    (report.Accelerator.cycles * n_pipes)
+    (Attribution.total attr);
+  (* per-set: each set's buckets sum to cycles x that set's pipelines *)
+  List.iter
+    (fun (set, n) ->
+      check Alcotest.int (set ^ " row sums")
+        (report.Accelerator.cycles * n)
+        (Attribution.set_total attr ~set))
+    report.Accelerator.pipelines;
+  check Alcotest.bool "some busy cycles" true (Attribution.get attr ~set:"update" Attribution.Busy > 0);
+  let s = Attribution.summary attr in
+  let sum =
+    s.Attribution.busy_frac +. s.Attribution.mem_frac +. s.Attribution.rendezvous_frac
+    +. s.Attribution.queue_frac +. s.Attribution.squash_frac +. s.Attribution.idle_frac
+  in
+  check (Alcotest.float 1e-9) "summary fractions sum to 1" 1.0 sum
+
+let fields_of_report (r : Accelerator.report) =
+  ( r.Accelerator.cycles,
+    r.Accelerator.seconds,
+    r.Accelerator.utilization,
+    ( r.Accelerator.engine_stats.Engine.activated,
+      r.Accelerator.engine_stats.Engine.committed,
+      r.Accelerator.engine_stats.Engine.aborted,
+      r.Accelerator.engine_stats.Engine.retried,
+      r.Accelerator.engine_stats.Engine.ops_executed ),
+    r.Accelerator.mem_reads,
+    r.Accelerator.mem_writes,
+    r.Accelerator.mem_hit_rate,
+    r.Accelerator.bytes_over_link,
+    r.Accelerator.peak_in_flight,
+    r.Accelerator.pipelines )
+
+let test_accel_null_sink_identical () =
+  (* the observer must not perturb the model: a fully-captured run and
+     a null-sink (uninstrumented) run report bit-identical results *)
+  let bare, bare_run = observed_run () in
+  let observed, obs_run = observed_run ~sink:(Sink.collect ()) () in
+  check Alcotest.bool "reports identical" true
+    (fields_of_report bare = fields_of_report observed);
+  check Alcotest.bool "attributions identical" true
+    (Attribution.equal bare.Accelerator.attribution observed.Accelerator.attribution);
+  check (Alcotest.list Alcotest.string) "same final memory" []
+    (Agp_core.State.diff bare_run.App_instance.state obs_run.App_instance.state)
+
+let test_accel_squash_waste_appears () =
+  (* speculative BFS on this graph squashes thousands of tasks; the
+     waste must show up in the attribution *)
+  let report, _ = observed_run () in
+  let aborted = report.Accelerator.engine_stats.Engine.aborted in
+  check Alcotest.bool "squashes happened" true (aborted > 0);
+  check Alcotest.bool "squash-waste charged" true
+    (Attribution.get report.Accelerator.attribution ~set:"update" Attribution.Squash_waste > 0)
+
+let test_attribution_render_and_reclassify () =
+  let a = Attribution.create () in
+  Attribution.charge a ~set:"s" Attribution.Busy 10;
+  Attribution.charge a ~set:"s" Attribution.Idle 5;
+  check Alcotest.int "clamped move" 10
+    (Attribution.reclassify a ~set:"s" ~src:Attribution.Busy ~dst:Attribution.Squash_waste 99);
+  check Alcotest.int "total preserved" 15 (Attribution.total a);
+  check Alcotest.int "src emptied" 0 (Attribution.get a ~set:"s" Attribution.Busy);
+  let table = Attribution.render a in
+  check Alcotest.bool "renders set row" true (Astring.String.is_infix ~affix:"s" table);
+  check Alcotest.bool "renders total" true (Astring.String.is_infix ~affix:"TOTAL" table)
+
+(* --- Chrome trace export --- *)
+
+let test_chrome_trace_wellformed () =
+  let sink = Sink.collect () in
+  let report, _ = observed_run ~sink () in
+  let json = Chrome_trace.to_string ~trace_name:"test" (Sink.events sink) in
+  match Json.parse json with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok doc -> begin
+      match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some evs ->
+          check Alcotest.bool "has events" true (List.length evs > 100);
+          let ts_of e = Option.get (Option.bind (Json.member "ts" e) Json.to_int) in
+          let tss = List.map ts_of evs in
+          check Alcotest.bool "events sorted by ts" true (List.sort compare tss = tss);
+          List.iter
+            (fun e ->
+              check Alcotest.bool "has pid" true (Json.member "pid" e <> None);
+              check Alcotest.bool "has tid or is process meta" true
+                (Json.member "tid" e <> None
+                || Json.member "ph" e = Some (Json.String "M"));
+              match Json.member "dur" e with
+              | Some d -> check Alcotest.bool "dur >= 0" true (Option.get (Json.to_int d) >= 0)
+              | None -> ())
+            evs;
+          check Alcotest.bool "span ends within run" true
+            (List.for_all
+               (fun e ->
+                 match (Json.member "ts" e, Json.member "dur" e) with
+                 | Some ts, Some d ->
+                     Option.get (Json.to_int ts) + Option.get (Json.to_int d)
+                     <= report.Accelerator.cycles + Config.default.Config.miss_latency + 64
+                 | _ -> true)
+               evs)
+    end
+
+let test_chrome_trace_stable () =
+  (* same events must export to the identical document: pids/tids are
+     derived from sorted names, not from encounter order *)
+  let sink = Sink.collect () in
+  let _ = observed_run ~sink () in
+  let events = Sink.events sink in
+  let a = Chrome_trace.to_string events in
+  let b = Chrome_trace.to_string events in
+  check Alcotest.bool "deterministic export" true (String.equal a b);
+  (* and a second simulation of the same seeded app captures the same
+     stream, hence the same trace *)
+  let sink2 = Sink.collect () in
+  let _ = observed_run ~sink:sink2 () in
+  let c = Chrome_trace.to_string (Sink.events sink2) in
+  check Alcotest.bool "reproducible run-to-run" true (String.equal a c)
+
+let test_chrome_trace_rows () =
+  let sink = Sink.collect () in
+  let _ = observed_run ~sink () in
+  let doc =
+    match Json.parse (Chrome_trace.to_string (Sink.events sink)) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let evs = Option.get (Option.bind (Json.member "traceEvents" doc) Json.to_list) in
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if Json.member "name" e = Some (Json.String "thread_name") then
+          Option.bind (Json.member "args" e) (fun a ->
+              Option.bind (Json.member "name" a) Json.to_str)
+        else None)
+      evs
+  in
+  check Alcotest.bool "pipeline rows named set/index" true
+    (List.exists (fun n -> n = "visit/0") thread_names);
+  check Alcotest.bool "rule engine row per set" true (List.mem "update" thread_names);
+  check Alcotest.bool "link row" true (List.mem "qpi-link" thread_names)
+
+let () =
+  Alcotest.run "agp_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_metrics_counter_gauge;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "null" `Quick test_sink_null;
+          Alcotest.test_case "collect" `Quick test_sink_collect;
+          Alcotest.test_case "ring" `Quick test_sink_ring;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "memory events" `Quick test_memory_events;
+          Alcotest.test_case "wavefront events" `Quick test_wavefront_events;
+        ] );
+      ( "accelerator",
+        [
+          Alcotest.test_case "event taxonomy" `Quick test_accel_event_taxonomy;
+          Alcotest.test_case "attribution sums" `Quick test_accel_attribution_sums;
+          Alcotest.test_case "null sink identical" `Quick test_accel_null_sink_identical;
+          Alcotest.test_case "squash waste" `Quick test_accel_squash_waste_appears;
+          Alcotest.test_case "reclassify + render" `Quick test_attribution_render_and_reclassify;
+        ] );
+      ( "chrome_trace",
+        [
+          Alcotest.test_case "well-formed" `Quick test_chrome_trace_wellformed;
+          Alcotest.test_case "stable ids" `Quick test_chrome_trace_stable;
+          Alcotest.test_case "row naming" `Quick test_chrome_trace_rows;
+        ] );
+    ]
