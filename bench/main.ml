@@ -23,6 +23,59 @@ let scale =
     end
   | None -> Workloads.Default
 
+let scale_name =
+  match scale with
+  | Workloads.Small -> "small"
+  | Workloads.Medium -> "medium"
+  | Workloads.Default -> "default"
+
+(* --json [--json-out PATH]: also write the whole evaluation as a
+   machine-readable run report (BENCH_<stamp>.json by default), the
+   artifact `agp diff` compares across commits. *)
+let json_out =
+  let argv = Array.to_list Sys.argv in
+  let rec find_out = function
+    | "--json-out" :: path :: _ -> Some path
+    | _ :: rest -> find_out rest
+    | [] -> None
+  in
+  match find_out argv with
+  | Some _ as p -> p
+  | None ->
+      if List.mem "--json" argv then begin
+        let t = Unix.localtime (Unix.time ()) in
+        Some
+          (Printf.sprintf "BENCH_%04d%02d%02d_%02d%02d%02d.json" (t.Unix.tm_year + 1900)
+             (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec)
+      end
+      else None
+
+module Json = Agp_obs.Json
+
+let json_sections : (string * Json.t) list ref = ref []
+let add_section name j = json_sections := (name, j) :: !json_sections
+
+let write_json_report () =
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let report =
+        Agp_obs.Report.v ~kind:"bench" ~app:"all"
+          ~meta:[ ("scale", Json.String scale_name) ]
+          ~sections:(List.rev !json_sections) ()
+      in
+      let oc =
+        try open_out path
+        with Sys_error e ->
+          Printf.eprintf "cannot write bench report: %s\n" e;
+          exit 1
+      in
+      output_string oc (Agp_obs.Report.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s (schema v%d; diff two of these with `agp diff`)\n" path
+        Agp_obs.Report.schema_version
+
 let section title =
   Printf.printf "\n=== %s ===\n%!" title
 
@@ -38,6 +91,7 @@ let run_microbenches () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let estimates = ref [] in
   List.iter
     (fun (name, fn) ->
       let test = Test.make ~name (Staged.stage fn) in
@@ -48,10 +102,15 @@ let run_microbenches () =
       Hashtbl.iter
         (fun case ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-34s %12.0f ns/run\n%!" case est
+          | Some [ est ] ->
+              Printf.printf "  %-34s %12.0f ns/run\n%!" case est;
+              estimates := (case, Json.Float est) :: !estimates
           | Some _ | None -> Printf.printf "  %-34s (no estimate)\n%!" case)
         clock)
-    (List.rev !bench_cases)
+    (List.rev !bench_cases);
+  (* microbenchmark timings are machine-dependent: name them so the
+     diff direction heuristic treats them as informational, not gating *)
+  add_section "microbench_ns_per_run" (Json.Obj (List.rev !estimates))
 
 (* --- Table 1 --- *)
 
@@ -60,6 +119,14 @@ let table1 () =
   let t1 = Experiments.table1 ~scale () in
   Experiments.print_table1 t1;
   Printf.printf "(OpenCL model iterated %d host rounds)\n" t1.Experiments.opencl_rounds;
+  add_section "table1"
+    (Json.Obj
+       [
+         ("opencl_seconds", Json.Float t1.Experiments.opencl_s);
+         ("spec_bfs_seconds", Json.Float t1.Experiments.spec_bfs_s);
+         ("coor_bfs_seconds", Json.Float t1.Experiments.coor_bfs_s);
+         ("opencl_rounds", Json.Int t1.Experiments.opencl_rounds);
+       ]);
   register "table1/opencl-model" (fun () ->
       ignore (Agp_baseline.Opencl_model.run_bfs (Workloads.bfs_graph Workloads.Small ~seed:42) 0))
 
@@ -77,6 +144,21 @@ let fig9 () =
   Printf.printf "vs 10-core range: %.2fx .. %.2fx (paper: 0.5x .. 1.9x)\n"
     (List.fold_left Float.min infinity v10)
     (List.fold_left Float.max 0.0 v10);
+  add_section "fig9"
+    (Json.Obj
+       (List.map
+          (fun r ->
+            ( r.Experiments.app,
+              Json.Obj
+                [
+                  ("fpga_seconds", Json.Float r.Experiments.fpga_s);
+                  ("cpu1_seconds", Json.Float r.Experiments.cpu1_s);
+                  ("cpu10_seconds", Json.Float r.Experiments.cpu10_s);
+                  ("speedup_vs_1", Json.Float r.Experiments.speedup_vs_1);
+                  ("speedup_vs_10", Json.Float r.Experiments.speedup_vs_10);
+                  ("utilization", Json.Float r.Experiments.utilization);
+                ] ))
+          rows));
   register "fig9/accelerator-spec-bfs-small" (fun () ->
       let app = Workloads.spec_bfs Workloads.Small ~seed:42 in
       let run = app.Agp_apps.App_instance.fresh () in
@@ -93,6 +175,18 @@ let fig10 () =
   section "Figure 10 — QPI bandwidth sweep (speedup over 1x / utilization)";
   let rows = Experiments.fig10 () in
   Experiments.print_fig10 rows;
+  add_section "fig10"
+    (Json.Obj
+       (List.map
+          (fun r ->
+            ( Printf.sprintf "%s_bw%gx" r.Experiments.app10 r.Experiments.factor,
+              Json.Obj
+                [
+                  ("speedup_over_1x", Json.Float r.Experiments.speedup_over_1x);
+                  ("utilization", Json.Float r.Experiments.utilization10);
+                  ("aborted", Json.Int r.Experiments.aborted);
+                ] ))
+          rows));
   register "fig10/memory-burst-64-lines" (fun () ->
       let mem = Agp_hw.Memory.create Agp_hw.Config.default in
       ignore
@@ -110,6 +204,20 @@ let resources () =
   Printf.printf "rule-engine register share: %.1f%% .. %.1f%% (paper: 4.8%% .. 10%%)\n"
     (100.0 *. List.fold_left Float.min infinity shares)
     (100.0 *. List.fold_left Float.max 0.0 shares);
+  add_section "resources"
+    (Json.Obj
+       (List.map
+          (fun r ->
+            ( r.Experiments.rapp,
+              Json.Obj
+                [
+                  ("alms", Json.Int r.Experiments.alms);
+                  ("registers", Json.Int r.Experiments.registers);
+                  ("brams", Json.Int r.Experiments.brams);
+                  ("rule_register_share", Json.Float r.Experiments.rule_register_share);
+                  ("fits", Json.Bool r.Experiments.fits_device);
+                ] ))
+          rows));
   register "resources/heuristic-sizing" (fun () ->
       ignore (Agp_hw.Resource.heuristic_pipelines Agp_apps.Bfs_app.spec_speculative ~max_per_set:8))
 
@@ -158,9 +266,9 @@ let amplification () =
 (* --- observability overhead (the Agp_obs null-sink gate) --- *)
 
 let observability () =
-  section "Observability — sink overhead on a full accelerator run (SPEC-BFS, small)";
+  section (Printf.sprintf "Observability — sink overhead on a full accelerator run (SPEC-BFS, %s)" scale_name);
   let simulate sink =
-    let app = Workloads.spec_bfs Workloads.Small ~seed:42 in
+    let app = Workloads.spec_bfs scale ~seed:42 in
     let run = app.Agp_apps.App_instance.fresh () in
     ignore
       (Agp_hw.Accelerator.run ~sink ~spec:app.Agp_apps.App_instance.spec
@@ -185,10 +293,18 @@ let observability () =
   (* the null sink must cost nothing: disabled instrumentation is a
      predicted-false branch, so a *capturing* run staying within ~2x of
      the null run bounds the branch cost at far below measurement noise *)
-  if collect_s <= 2.0 *. Float.max 1e-9 null_s then
+  let gate_ok = collect_s <= 2.0 *. Float.max 1e-9 null_s in
+  if gate_ok then
     print_endline "null-sink overhead gate: OK (full capture within 2x of disabled)"
-  else
-    print_endline "null-sink overhead gate: WARN (capture cost unexpectedly high)";
+  else print_endline "null-sink overhead gate: WARN (capture cost unexpectedly high)";
+  add_section "observability"
+    (Json.Obj
+       [
+         ("null_sink_best_of_5_s", Json.Float null_s);
+         ("full_capture_best_of_5_s", Json.Float collect_s);
+         ("overhead_info_frac", Json.Float overhead);
+         ("gate_ok", Json.Bool gate_ok);
+       ]);
   let ring = Agp_obs.Sink.ring ~capacity:4096 in
   register "obs/sink-emit-null" (fun () ->
       Agp_obs.Sink.emit Agp_obs.Sink.null ~ts:0
@@ -205,6 +321,7 @@ let ablations () =
   section "Ablation — rule-engine lanes (SPEC-BFS, medium road graph)";
   let app = Workloads.spec_bfs Workloads.Medium ~seed:42 in
   let t = Agp_util.Table.create [ "lanes"; "cycles"; "utilization" ] in
+  let lane_rows = ref [] in
   List.iter
     (fun lanes ->
       let run = app.Agp_apps.App_instance.fresh () in
@@ -214,6 +331,14 @@ let ablations () =
           ~bindings:run.Agp_apps.App_instance.bindings ~state:run.Agp_apps.App_instance.state
           ~initial:run.Agp_apps.App_instance.initial ()
       in
+      lane_rows :=
+        ( Printf.sprintf "lanes%d" lanes,
+          Json.Obj
+            [
+              ("cycles", Json.Int r.Agp_hw.Accelerator.cycles);
+              ("utilization", Json.Float r.Agp_hw.Accelerator.utilization);
+            ] )
+        :: !lane_rows;
       Agp_util.Table.add_row t
         [
           string_of_int lanes;
@@ -224,6 +349,7 @@ let ablations () =
   Agp_util.Table.print t;
   section "Ablation — pipeline replication (SPEC-BFS, medium road graph)";
   let t = Agp_util.Table.create [ "pipelines/set"; "cycles" ] in
+  let pipe_rows = ref [] in
   List.iter
     (fun n ->
       let run = app.Agp_apps.App_instance.fresh () in
@@ -235,9 +361,18 @@ let ablations () =
           ~bindings:run.Agp_apps.App_instance.bindings ~state:run.Agp_apps.App_instance.state
           ~initial:run.Agp_apps.App_instance.initial ()
       in
+      pipe_rows :=
+        (Printf.sprintf "pipes%d" n, Json.Obj [ ("cycles", Json.Int r.Agp_hw.Accelerator.cycles) ])
+        :: !pipe_rows;
       Agp_util.Table.add_row t [ string_of_int n; string_of_int r.Agp_hw.Accelerator.cycles ])
     [ 1; 2; 4; 8 ];
-  Agp_util.Table.print t
+  Agp_util.Table.print t;
+  add_section "ablations"
+    (Json.Obj
+       [
+         ("rule_lanes", Json.Obj (List.rev !lane_rows));
+         ("pipeline_replication", Json.Obj (List.rev !pipe_rows));
+       ])
 
 let () =
   Printf.printf "aggrpipe benchmark harness — reproduction of ISCA'17 evaluation\n";
@@ -256,4 +391,5 @@ let () =
   ablations ();
   substrates ();
   run_microbenches ();
+  write_json_report ();
   print_endline "\nbench: done"

@@ -115,20 +115,57 @@ let amplify_cmd =
           necessary tasks per benchmark (the flooding of §6.3).")
     Term.(const run $ scale_arg $ seed_arg)
 
+let write_file ~what path contents =
+  let oc =
+    try open_out path
+    with Sys_error e ->
+      Printf.eprintf "cannot write %s: %s\n" what e;
+      exit 1
+  in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
 let explore_cmd =
-  let run scale seed name =
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also export the sweep table as CSV to $(docv).")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write a machine-readable sweep report (JSON) to $(docv).")
+  in
+  let run scale seed name csv report =
     match find_app scale seed name with
     | Error e ->
         prerr_endline e;
         exit 1
-    | Ok app -> Agp_exp.Explore.print app (Agp_exp.Explore.sweep app)
+    | Ok app ->
+        let outcomes = Agp_exp.Explore.sweep app in
+        Agp_exp.Explore.print app outcomes;
+        Option.iter
+          (fun path ->
+            write_file ~what:"sweep CSV" path (String.trim (Agp_exp.Explore.to_csv outcomes));
+            Printf.printf "wrote %s\n" path)
+          csv;
+        Option.iter
+          (fun path ->
+            write_file ~what:"sweep report" path
+              (Agp_obs.Report.to_string (Agp_exp.Explore.report app outcomes));
+            Printf.printf "wrote %s\n" path)
+          report
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Design-space exploration (the paper's future-work item): sweep rule lanes, pipeline \
           replication and window depth, rank by simulated cycles.")
-    Term.(const run $ scale_arg $ seed_arg $ app_arg)
+    Term.(const run $ scale_arg $ seed_arg $ app_arg $ csv_arg $ report_arg)
 
 let trace_cmd =
   let workers_arg =
@@ -236,7 +273,29 @@ let observe_cmd =
   let bw_arg =
     Arg.(value & opt float 1.0 & info [ "bandwidth" ] ~doc:"QPI bandwidth multiplier.")
   in
-  let run scale seed name bw out =
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a schema-versioned machine-readable run report (JSON) to $(docv) — the \
+             artifact $(b,agp diff) compares.")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "interval" ] ~docv:"CYCLES" ~doc:"Timeline sampling interval in cycles.")
+  in
+  let timeline_csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline-csv" ] ~docv:"FILE"
+          ~doc:"Also export the interval time series as CSV to $(docv).")
+  in
+  let run scale seed name bw out report_out interval timeline_csv =
     match find_app scale seed name with
     | Error e ->
         prerr_endline e;
@@ -245,10 +304,11 @@ let observe_cmd =
         let open Agp_apps.App_instance in
         let module Obs = Agp_obs in
         let sink = Obs.Sink.collect () in
+        let timeline = Obs.Timeline.create ~interval () in
         let config = Agp_hw.Config.scale_bandwidth Agp_hw.Config.default bw in
         let r = app.fresh () in
         let report =
-          Agp_hw.Accelerator.run ~config ~sink ~spec:app.spec ~bindings:r.bindings
+          Agp_hw.Accelerator.run ~config ~sink ~timeline ~spec:app.spec ~bindings:r.bindings
             ~state:r.state ~initial:r.initial ()
         in
         begin
@@ -259,15 +319,7 @@ let observe_cmd =
               exit 1
         end;
         let events = Obs.Sink.events sink in
-        let oc =
-          try open_out out
-          with Sys_error e ->
-            Printf.eprintf "cannot write trace: %s\n" e;
-            exit 1
-        in
-        output_string oc (Obs.Chrome_trace.to_string ~trace_name:app.app_name events);
-        output_char oc '\n';
-        close_out oc;
+        write_file ~what:"trace" out (Obs.Chrome_trace.to_string ~trace_name:app.app_name events);
         Printf.printf "%s on FPGA model: %d cycles (%.3f ms), utilization %.1f%%\n" app.app_name
           report.Agp_hw.Accelerator.cycles
           (report.Agp_hw.Accelerator.seconds *. 1e3)
@@ -276,50 +328,108 @@ let observe_cmd =
           out (List.length events);
         print_endline "stall attribution (pipeline-cycles per task set):";
         print_endline (Obs.Attribution.render report.Agp_hw.Accelerator.attribution);
-        (* metrics dump: counters from the report, latency histogram
-           from the captured task spans *)
-        let reg = Obs.Metrics.create () in
-        let c name v = Obs.Metrics.add (Obs.Metrics.counter reg name) v in
-        let g name v = Obs.Metrics.set (Obs.Metrics.gauge reg name) v in
-        let es = report.Agp_hw.Accelerator.engine_stats in
-        c "accel.cycles" report.Agp_hw.Accelerator.cycles;
-        c "tasks.activated" es.Agp_core.Engine.activated;
-        c "tasks.committed" es.Agp_core.Engine.committed;
-        c "tasks.aborted" es.Agp_core.Engine.aborted;
-        c "tasks.retried" es.Agp_core.Engine.retried;
-        c "mem.reads" report.Agp_hw.Accelerator.mem_reads;
-        c "mem.writes" report.Agp_hw.Accelerator.mem_writes;
-        c "mem.bytes_over_link" report.Agp_hw.Accelerator.bytes_over_link;
-        c "obs.events" (Obs.Sink.count sink);
-        g "accel.utilization" report.Agp_hw.Accelerator.utilization;
-        g "mem.hit_rate" report.Agp_hw.Accelerator.mem_hit_rate;
-        let latency =
-          Obs.Metrics.histogram reg "task.occupancy.cycles"
-            ~buckets:[| 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
-        in
-        let dispatched = Hashtbl.create 256 in
-        List.iter
-          (fun (ts, ev) ->
-            match ev with
-            | Obs.Event.Task_dispatch { tid; _ } -> Hashtbl.replace dispatched tid ts
-            | Obs.Event.Task_finish { tid; _ } | Obs.Event.Rendezvous_park { tid; _ } -> begin
-                match Hashtbl.find_opt dispatched tid with
-                | Some t0 ->
-                    Hashtbl.remove dispatched tid;
-                    Obs.Metrics.observe latency (ts - t0)
-                | None -> ()
-              end
-            | _ -> ())
-          events;
+        let spans, unfinished = Obs.Lifecycle.spans events in
+        Printf.printf "task lifecycle (dispatch-to-retire percentiles, cycles; %d unretired):\n"
+          unfinished;
+        print_endline (Obs.Lifecycle.render (Obs.Lifecycle.summarize spans));
+        let reg = Agp_hw.Accelerator.metrics_registry ~events report in
+        Obs.Metrics.add (Obs.Metrics.counter reg "obs.events") (Obs.Sink.count sink);
         print_endline "metrics:";
-        print_string (Obs.Metrics.to_text reg)
+        print_string (Obs.Metrics.to_text reg);
+        Option.iter
+          (fun path ->
+            write_file ~what:"timeline CSV" path (String.trim (Obs.Timeline.to_csv timeline));
+            Printf.printf "wrote %s (%d samples)\n" path (Obs.Timeline.sample_count timeline))
+          timeline_csv;
+        Option.iter
+          (fun path ->
+            let doc =
+              Agp_hw.Accelerator.obs_report ~app:app.app_name ~events ~timeline ~config report
+            in
+            write_file ~what:"run report" path (Obs.Report.to_string doc);
+            Printf.printf "wrote %s (schema v%d; diff two of these with `agp diff`)\n" path
+              Obs.Report.schema_version)
+          report_out
   in
   Cmd.v
     (Cmd.info "observe"
        ~doc:
          "Run one application on the cycle model with full observability: write a \
-          Perfetto-loadable trace.json, print the stall-attribution table and a metrics dump.")
-    Term.(const run $ scale_arg $ seed_arg $ app_arg $ bw_arg $ out_arg)
+          Perfetto-loadable trace.json, print the stall-attribution, lifecycle and metrics \
+          views, and optionally emit the machine-readable run report / timeline CSV.")
+    Term.(
+      const run $ scale_arg $ seed_arg $ app_arg $ bw_arg $ out_arg $ report_arg $ interval_arg
+      $ timeline_csv_arg)
+
+let diff_cmd =
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline run report (JSON).")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Current run report (JSON).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float 0.05
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:"Relative-change threshold below which a metric counts as unchanged.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the comparison as JSON instead of a table.")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Include unchanged metrics in the output.")
+  in
+  let run a b threshold json all =
+    let module Obs = Agp_obs in
+    let read path =
+      let contents =
+        try
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        with Sys_error e ->
+          Printf.eprintf "cannot read %s: %s\n" path e;
+          exit 2
+      in
+      match Obs.Report.of_string contents with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "%s: %s\n" path e;
+          exit 2
+    in
+    let ra = read a and rb = read b in
+    if ra.Obs.Report.kind <> rb.Obs.Report.kind then
+      Printf.eprintf "note: comparing different report kinds (%s vs %s)\n" ra.Obs.Report.kind
+        rb.Obs.Report.kind;
+    let result = Obs.Diff.compare ~threshold ra rb in
+    if json then print_endline (Obs.Json.to_string (Obs.Diff.to_json ~all result))
+    else print_string (Obs.Diff.render ~all result);
+    exit (if Obs.Diff.regressed result then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Structurally compare two run reports: flag metrics whose relative change exceeds the \
+          threshold in the bad direction. Exits 0 when clean, 1 on regression, 2 on \
+          malformed/unreadable input."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "agp observe spec-bfs --scale small --report base.json";
+           `P "agp observe spec-bfs --scale small --bandwidth 0.5 --report slow.json";
+           `P "agp diff base.json slow.json   # non-zero exit: cycles regressed";
+         ])
+    Term.(const run $ file_a $ file_b $ threshold_arg $ json_arg $ all_arg)
 
 let () =
   let doc = "Aggressive pipelining of irregular applications — reproduction toolkit" in
@@ -334,6 +444,7 @@ let () =
         spec_cmd;
         run_cmd;
         observe_cmd;
+        diff_cmd;
         explore_cmd;
         trace_cmd;
         amplify_cmd;

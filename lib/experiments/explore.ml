@@ -97,6 +97,78 @@ let best outcomes =
         | Some b -> if o.cycles < b.cycles then Some o else acc)
     None outcomes
 
+let to_csv outcomes =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "lanes,pipes_per_set,window,cycles,utilization,mem_frac,rdv_frac,squash_frac,alms,registers,fits\n";
+  List.iter
+    (fun o ->
+      let frac select =
+        match o.stall with
+        | Some s -> Printf.sprintf "%.6f" (select s)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%s,%.6f,%s,%s,%s,%d,%d,%b\n" o.candidate.lanes
+           o.candidate.pipelines_per_set o.candidate.window_factor
+           (if o.fits then string_of_int o.cycles else "")
+           o.utilization
+           (frac (fun s -> s.Agp_obs.Attribution.mem_frac))
+           (frac (fun s -> s.Agp_obs.Attribution.rendezvous_frac))
+           (frac (fun s -> s.Agp_obs.Attribution.squash_frac))
+           o.alms o.registers o.fits))
+    outcomes;
+  Buffer.contents buf
+
+let report (app : App_instance.t) outcomes =
+  let module Json = Agp_obs.Json in
+  let key c = Printf.sprintf "l%d_p%d_w%d" c.lanes c.pipelines_per_set c.window_factor in
+  let outcome_json o =
+    let frac select =
+      match o.stall with
+      | Some s -> [ select s ]
+      | None -> []
+    in
+    ( key o.candidate,
+      Json.Obj
+        ((if o.fits then [ ("cycles", Json.Int o.cycles) ] else [])
+        @ [ ("utilization", Json.Float o.utilization) ]
+        @ List.map
+            (fun v -> ("mem_stall_frac", Json.Float v))
+            (frac (fun s -> s.Agp_obs.Attribution.mem_frac))
+        @ List.map
+            (fun v -> ("rdv_stall_frac", Json.Float v))
+            (frac (fun s -> s.Agp_obs.Attribution.rendezvous_frac))
+        @ List.map
+            (fun v -> ("squash_frac", Json.Float v))
+            (frac (fun s -> s.Agp_obs.Attribution.squash_frac))
+        @ [
+            ("alms", Json.Int o.alms);
+            ("registers", Json.Int o.registers);
+            ("fits", Json.Bool o.fits);
+          ]) )
+  in
+  let best_section =
+    match best outcomes with
+    | None -> []
+    | Some o ->
+        [
+          ( "best",
+            Json.Obj
+              [
+                ("lanes", Json.Int o.candidate.lanes);
+                ("pipes_per_set", Json.Int o.candidate.pipelines_per_set);
+                ("window", Json.Int o.candidate.window_factor);
+                ("cycles", Json.Int o.cycles);
+                ("utilization", Json.Float o.utilization);
+              ] );
+        ]
+  in
+  Agp_obs.Report.v ~kind:"explore-sweep" ~app:app.App_instance.app_name
+    ~meta:[ ("candidates", Json.Int (List.length outcomes)) ]
+    ~sections:(best_section @ [ ("sweep", Json.Obj (List.map outcome_json outcomes)) ])
+    ()
+
 let print (app : App_instance.t) outcomes =
   Printf.printf "design-space exploration for %s:\n" app.App_instance.app_name;
   let t =

@@ -42,4 +42,15 @@ val sweep :
 val best : outcome list -> outcome option
 (** Fewest cycles among fitting candidates. *)
 
+val to_csv : outcome list -> string
+(** The sweep table as CSV (header + one row per candidate, including
+    the stall-fraction columns); non-fitting candidates leave [cycles]
+    and the stall fractions empty. *)
+
+val report : Agp_apps.App_instance.t -> outcome list -> Agp_obs.Report.t
+(** Machine-readable sweep report ({!Agp_obs.Report}, kind
+    ["explore-sweep"]): one entry per candidate keyed
+    [l<lanes>_p<pipes>_w<window>], plus a ["best"] section — diffable
+    with [agp diff] across code or parameter changes. *)
+
 val print : Agp_apps.App_instance.t -> outcome list -> unit

@@ -5,6 +5,11 @@ module Bdfg = Agp_dataflow.Bdfg
 module Sink = Agp_obs.Sink
 module Event = Agp_obs.Event
 module Attribution = Agp_obs.Attribution
+module Timeline = Agp_obs.Timeline
+module Lifecycle = Agp_obs.Lifecycle
+module Metrics = Agp_obs.Metrics
+module Json = Agp_obs.Json
+module Report = Agp_obs.Report
 
 type in_flight = {
   mutable ready : int;
@@ -72,8 +77,8 @@ let event_outcome = function
   | Engine.Aborted_task -> Event.Abort
   | Engine.Retried_task -> Event.Retry
 
-let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ~spec ~bindings
-    ~state ~initial () =
+let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?timeline ~spec
+    ~bindings ~state ~initial () =
   let cfg =
     if config.Config.pipelines = [] && auto_size then
       Config.with_pipelines config (Resource.heuristic_pipelines spec ~max_per_set:8)
@@ -108,6 +113,12 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ~spec
     |> Array.of_list
   in
   let total_stage_ops = Array.fold_left (fun acc p -> acc + p.stage_ops) 0 pipes in
+  begin
+    match timeline with
+    | Some tl ->
+        Timeline.start tl ~total_stage_ops ~bytes_per_cycle:(Config.bytes_per_cycle cfg)
+    | None -> ()
+  end;
   let attr = Attribution.create () in
   let instrumented = Sink.enabled sink in
   let squashes = ref [] in
@@ -350,9 +361,39 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ~spec
           if Engine.deadlocked eng then failwith "Accelerator.run: deadlock in rule resolution"
       | woken -> place_resumed woken
     end;
+    begin
+      match timeline with
+      | Some tl when Timeline.due tl ~upto:next ->
+          let mst = Memory.stats mem in
+          Timeline.tick tl ~upto:next
+            {
+              Timeline.in_flight = in_flight_count ();
+              pending = Engine.pending_count eng;
+              active_ops = !active_op_cycles;
+              mem_hits = mst.Memory.hits;
+              mem_misses = mst.Memory.misses;
+              link_bytes = mst.Memory.bytes_over_link;
+            }
+      | Some _ | None -> ()
+    end;
     cycle := next
   done;
   State.set_tracing state false;
+  begin
+    match timeline with
+    | Some tl ->
+        let mst = Memory.stats mem in
+        Timeline.finish tl ~cycles:!cycle
+          {
+            Timeline.in_flight = in_flight_count ();
+            pending = Engine.pending_count eng;
+            active_ops = !active_op_cycles;
+            mem_hits = mst.Memory.hits;
+            mem_misses = mst.Memory.misses;
+            link_bytes = mst.Memory.bytes_over_link;
+          }
+    | None -> ()
+  end;
   let st = Memory.stats mem in
   {
     cycles = !cycle;
@@ -371,3 +412,103 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ~spec
         spec.Spec.task_sets;
     attribution = attr;
   }
+
+let config_json (cfg : Config.t) =
+  [
+    ("clock_mhz", Json.Float cfg.Config.clock_mhz);
+    ("cache_bytes", Json.Int cfg.Config.cache_bytes);
+    ("line_bytes", Json.Int cfg.Config.line_bytes);
+    ("hit_latency", Json.Int cfg.Config.hit_latency);
+    ("miss_latency", Json.Int cfg.Config.miss_latency);
+    ("qpi_gbps", Json.Float cfg.Config.qpi_gbps);
+    ("rule_lanes", Json.Int cfg.Config.rule_lanes);
+    ("mlp", Json.Int cfg.Config.mlp);
+    ("queue_banks", Json.Int cfg.Config.queue_banks);
+    ("window_factor", Json.Int cfg.Config.window_factor);
+    ("pipelines", Json.Obj (List.map (fun (set, n) -> (set, Json.Int n)) cfg.Config.pipelines));
+  ]
+
+let attribution_json attr =
+  let summary = Attribution.summary attr in
+  Json.Obj
+    (List.map
+       (fun (set, bs) ->
+         (set, Json.Obj (List.map (fun (b, n) -> (Attribution.bucket_name b, Json.Int n)) bs)))
+       (Attribution.per_set attr)
+    @ [
+        ( "summary",
+          Json.Obj
+            [
+              ("busy_frac", Json.Float summary.Attribution.busy_frac);
+              ("mem_stall_frac", Json.Float summary.Attribution.mem_frac);
+              ("rdv_stall_frac", Json.Float summary.Attribution.rendezvous_frac);
+              ("queue_full_frac", Json.Float summary.Attribution.queue_frac);
+              ("squash_frac", Json.Float summary.Attribution.squash_frac);
+              ("idle_frac", Json.Float summary.Attribution.idle_frac);
+            ] );
+      ])
+
+let metrics_registry ?events (r : report) =
+  let reg = Metrics.create () in
+  let c name v = Metrics.add (Metrics.counter reg name) v in
+  let g name v = Metrics.set (Metrics.gauge reg name) v in
+  let es = r.engine_stats in
+  c "accel.cycles" r.cycles;
+  c "tasks.activated" es.Engine.activated;
+  c "tasks.committed" es.Engine.committed;
+  c "tasks.aborted" es.Engine.aborted;
+  c "tasks.retried" es.Engine.retried;
+  c "tasks.ops_executed" es.Engine.ops_executed;
+  c "mem.reads" r.mem_reads;
+  c "mem.writes" r.mem_writes;
+  c "mem.bytes_over_link" r.bytes_over_link;
+  c "accel.peak_in_flight" r.peak_in_flight;
+  g "accel.seconds" r.seconds;
+  g "accel.utilization" r.utilization;
+  g "mem.hit_rate" r.mem_hit_rate;
+  begin
+    match events with
+    | None -> ()
+    | Some evs ->
+        let spans, _ = Lifecycle.spans evs in
+        ignore (Lifecycle.histogram reg ~name:"task.lifetime.cycles" spans)
+  end;
+  reg
+
+let obs_report ?(app = "unknown") ?events ?timeline ~config (r : report) =
+  let lifecycle =
+    match events with
+    | None -> []
+    | Some evs ->
+        let spans, unfinished = Lifecycle.spans evs in
+        [
+          ( "lifecycle",
+            Json.Obj
+              (("unfinished", Json.Int unfinished)
+              :: [ ("sets", Lifecycle.to_json (Lifecycle.summarize spans)) ]) );
+        ]
+  in
+  let timeline_section =
+    match timeline with
+    | None -> []
+    | Some tl ->
+        [
+          ( "timeline",
+            Json.Obj
+              [
+                ("summary", Timeline.summary_json tl);
+                ( "samples",
+                  match Timeline.to_json tl with
+                  | Json.Obj kvs -> Option.value ~default:Json.Null (List.assoc_opt "samples" kvs)
+                  | _ -> Json.Null );
+              ] );
+        ]
+  in
+  Report.v ~kind:"accelerator-run" ~app ~meta:(config_json config)
+    ~sections:
+      ([
+         ("metrics", Metrics.to_json (metrics_registry ?events r));
+         ("attribution", attribution_json r.attribution);
+       ]
+      @ lifecycle @ timeline_section)
+    ()

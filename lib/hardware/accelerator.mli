@@ -43,6 +43,7 @@ val run :
   ?config:Config.t ->
   ?auto_size:bool ->
   ?sink:Agp_obs.Sink.t ->
+  ?timeline:Agp_obs.Timeline.t ->
   spec:Agp_core.Spec.t ->
   bindings:Agp_core.Spec.bindings ->
   state:Agp_core.State.t ->
@@ -54,5 +55,30 @@ val run :
     replication is chosen by {!Resource.heuristic_pipelines} when the
     configuration leaves it empty.  [sink] (default
     {!Agp_obs.Sink.null}) captures the event stream; it is also
-    threaded into the internal {!Memory}.
+    threaded into the internal {!Memory}.  [timeline] (default absent)
+    receives interval samples of utilization / occupancy / cache / link
+    activity; the sampler only reads counters, so a sampled run's
+    report is identical to an unsampled one.
     @raise Failure on deadlock or divergence. *)
+
+val metrics_registry :
+  ?events:(int * Agp_obs.Event.t) list -> report -> Agp_obs.Metrics.registry
+(** The canonical metrics view of a completed run: counters
+    ([accel.cycles], [tasks.*], [mem.*]), gauges ([accel.utilization],
+    [accel.seconds], [mem.hit_rate]) and, when the captured event
+    stream is supplied, a [task.lifetime.cycles] latency histogram. *)
+
+val obs_report :
+  ?app:string ->
+  ?events:(int * Agp_obs.Event.t) list ->
+  ?timeline:Agp_obs.Timeline.t ->
+  config:Config.t ->
+  report ->
+  Agp_obs.Report.t
+(** Assemble the schema-versioned machine-readable run report
+    ({!Agp_obs.Report}): configuration as meta, the
+    {!metrics_registry} dump, the stall-attribution table (raw
+    pipeline-cycles per set plus global fractions), and — when the
+    corresponding capture is supplied — per-task-set lifecycle
+    percentiles ({!Agp_obs.Lifecycle}) and the timeline summary +
+    samples ({!Agp_obs.Timeline}). *)

@@ -62,10 +62,34 @@ let to_string t =
 
 exception Parse_error of string
 
+(* Failure messages carry line/column plus a one-line context window
+   with a caret, so a user pointed at a malformed report file can find
+   the byte that broke it. *)
+let error_message s pos msg =
+  let n = String.length s in
+  let pos = min pos n in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  let col = pos - !bol + 1 in
+  let ctx_start = max !bol (pos - 30) in
+  let ctx_end = min n (pos + 30) in
+  let ctx =
+    String.map
+      (fun c -> if c = '\n' || c = '\r' || c = '\t' then ' ' else c)
+      (String.sub s ctx_start (ctx_end - ctx_start))
+  in
+  let caret = String.make (pos - ctx_start) ' ' ^ "^" in
+  Printf.sprintf "%s at line %d, column %d\n  %s\n  %s" msg !line col ctx caret
+
 let parse s =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail msg = raise (Parse_error (error_message s !pos msg)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let skip_ws () =
     while

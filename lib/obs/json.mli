@@ -22,7 +22,10 @@ val to_string : t -> string
 
 val parse : string -> (t, string) result
 (** Strict parse of a complete document; trailing garbage is an error.
-    Numbers without [.], [e] or [E] come back as [Int]. *)
+    Numbers without [.], [e] or [E] come back as [Int].  Error messages
+    carry the failure's line and column plus a caret-annotated context
+    window, so malformed user-supplied input (e.g. a hand-edited run
+    report handed to [agp diff]) points at the offending byte. *)
 
 val member : string -> t -> t option
 (** First binding of a key in an [Obj]; [None] elsewhere. *)

@@ -102,6 +102,29 @@ let sample_count h = h.h_count
 
 let sample_sum h = h.h_sum
 
+let percentile h p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p out of range";
+  if h.h_count = 0 then invalid_arg "Metrics.percentile: empty histogram";
+  let target = p /. 100.0 *. float_of_int h.h_count in
+  let nb = Array.length h.bounds in
+  let rec go i cum =
+    if i > nb then float_of_int h.bounds.(nb - 1)
+    else begin
+      let in_bucket = h.buckets.(i) in
+      let cum' = cum + in_bucket in
+      if in_bucket > 0 && float_of_int cum' >= target then
+        if i = nb then (* overflow bucket has no upper bound: clamp *)
+          float_of_int h.bounds.(nb - 1)
+        else begin
+          let lo = if i = 0 then 0.0 else float_of_int h.bounds.(i - 1) in
+          let hi = float_of_int h.bounds.(i) in
+          lo +. ((hi -. lo) *. ((target -. float_of_int cum) /. float_of_int in_bucket))
+        end
+      else go (i + 1) cum'
+    end
+  in
+  go 0 0
+
 let metrics reg = List.rev reg.order
 
 let to_text reg =
@@ -115,9 +138,15 @@ let to_text reg =
           let mean =
             if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count
           in
+          let pcts =
+            if h.h_count = 0 then ""
+            else
+              Printf.sprintf " p50=%.1f p90=%.1f p99=%.1f" (percentile h 50.0) (percentile h 90.0)
+                (percentile h 99.0)
+          in
           Buffer.add_string buf
-            (Printf.sprintf "histogram %-32s count=%d sum=%d mean=%.1f" h.h_name h.h_count h.h_sum
-               mean);
+            (Printf.sprintf "histogram %-32s count=%d sum=%d mean=%.1f%s" h.h_name h.h_count
+               h.h_sum mean pcts);
           List.iter
             (fun (bound, n) ->
               if n > 0 then
@@ -139,9 +168,18 @@ let to_json reg =
          | Histogram h ->
              ( h.h_name,
                Json.Obj
-                 [
-                   ("count", Json.Int h.h_count);
-                   ("sum", Json.Int h.h_sum);
+                 ([
+                    ("count", Json.Int h.h_count);
+                    ("sum", Json.Int h.h_sum);
+                  ]
+                 @ (if h.h_count = 0 then []
+                    else
+                      [
+                        ("p50", Json.Float (percentile h 50.0));
+                        ("p90", Json.Float (percentile h 90.0));
+                        ("p99", Json.Float (percentile h 99.0));
+                      ])
+                 @ [
                    ( "buckets",
                      Json.List
                        (List.map
@@ -155,5 +193,5 @@ let to_json reg =
                                 ("n", Json.Int n);
                               ])
                           (bucket_counts h)) );
-                 ] ))
+                 ] )))
        (metrics reg))

@@ -48,10 +48,21 @@ val sample_count : histogram -> int
 
 val sample_sum : histogram -> int
 
+val percentile : histogram -> float -> float
+(** [percentile h p] estimates the [p]-th percentile ([p] in
+    [\[0,100\]]) from the bucket counts, interpolating linearly inside
+    the bucket the rank falls in (lower edge 0 for the first bucket).
+    Ranks landing in the overflow bucket clamp to the last configured
+    bound — a histogram only knows its samples up to its bounds.
+    @raise Invalid_argument on an empty histogram or [p] out of
+    range. *)
+
 val to_text : registry -> string
-(** One line per metric, insertion order. *)
+(** One line per metric, insertion order.  Non-empty histograms include
+    estimated p50/p90/p99. *)
 
 val to_json : registry -> Json.t
 (** Object keyed by metric name; counters as ints, gauges as floats,
-    histograms as [{"count";"sum";"buckets":[{"le","n"}...]}] where the
+    histograms as [{"count";"sum";"p50";"p90";"p99";"buckets":
+    [{"le","n"}...]}] (percentiles omitted when empty) where the
     overflow bucket's ["le"] is [null]. *)

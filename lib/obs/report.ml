@@ -1,0 +1,69 @@
+let schema_version = 1
+
+type t = {
+  kind : string;
+  app : string;
+  meta : (string * Json.t) list;
+  sections : (string * Json.t) list;
+}
+
+let v ~kind ~app ?(meta = []) ?(sections = []) () = { kind; app; meta; sections }
+
+let reserved = [ "schema_version"; "kind"; "app"; "meta" ]
+
+let to_json t =
+  Json.Obj
+    (("schema_version", Json.Int schema_version)
+    :: ("kind", Json.String t.kind)
+    :: ("app", Json.String t.app)
+    :: ("meta", Json.Obj t.meta)
+    :: t.sections)
+
+let to_string t = Json.to_string (to_json t)
+
+let of_json j =
+  match j with
+  | Json.Obj kvs -> begin
+      match Json.member "schema_version" j with
+      | Some (Json.Int ver) when ver = schema_version -> begin
+          match (Json.member "kind" j, Json.member "app" j) with
+          | Some (Json.String kind), Some (Json.String app) ->
+              let meta =
+                match Json.member "meta" j with
+                | Some (Json.Obj m) -> m
+                | Some _ | None -> []
+              in
+              let sections = List.filter (fun (k, _) -> not (List.mem k reserved)) kvs in
+              Ok { kind; app; meta; sections }
+          | _, _ -> Error "report: missing or non-string \"kind\"/\"app\""
+        end
+      | Some (Json.Int ver) ->
+          Error
+            (Printf.sprintf "report: unsupported schema_version %d (this tool reads version %d)"
+               ver schema_version)
+      | Some _ -> Error "report: schema_version is not an integer"
+      | None -> Error "report: missing \"schema_version\" (not a run report?)"
+    end
+  | _ -> Error "report: top level is not a JSON object"
+
+let of_string s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+let flatten t =
+  let out = ref [] in
+  let rec go prefix j =
+    match j with
+    | Json.Int i -> out := (prefix, float_of_int i) :: !out
+    | Json.Float f -> out := (prefix, f) :: !out
+    | Json.Obj kvs ->
+        List.iter (fun (k, v) -> go (if prefix = "" then k else prefix ^ "." ^ k) v) kvs
+    | Json.List _ | Json.String _ | Json.Bool _ | Json.Null ->
+        (* lists (bucket arrays, raw sample series) are deliberately
+           opaque to flattening: diffing them element-wise is noise *)
+        ()
+  in
+  List.iter (fun (k, v) -> go ("meta." ^ k) v) t.meta;
+  List.iter (fun (k, v) -> go k v) t.sections;
+  List.rev !out

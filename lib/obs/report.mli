@@ -1,0 +1,56 @@
+(** Schema-versioned machine-readable run reports.
+
+    A report is the JSON artifact a run leaves behind — configuration,
+    metrics, stall attribution, lifecycle percentiles, timeline summary
+    — so that runs can be archived, plotted and structurally compared
+    ({!Diff}) instead of scraped from stdout.
+
+    Layout (version {!schema_version}):
+    {v
+    { "schema_version": 1,
+      "kind": "accelerator-run" | "explore-sweep" | "bench",
+      "app": "<application or harness name>",
+      "meta": { ...configuration scalars... },
+      "<section>": { ... }, ...
+    }
+    v}
+
+    Every key except the four reserved ones is a section; section order
+    is preserved, so emit → parse → re-emit is bit-identical (asserted
+    in [test/test_obs.ml]). *)
+
+val schema_version : int
+
+type t = {
+  kind : string;
+  app : string;
+  meta : (string * Json.t) list;
+  sections : (string * Json.t) list;
+}
+
+val v :
+  kind:string ->
+  app:string ->
+  ?meta:(string * Json.t) list ->
+  ?sections:(string * Json.t) list ->
+  unit ->
+  t
+
+val to_json : t -> Json.t
+
+val to_string : t -> string
+(** Compact JSON. *)
+
+val of_json : Json.t -> (t, string) result
+(** Validates the envelope: rejects non-objects, a missing or
+    non-integer schema_version, a version this reader does not
+    understand, and missing kind/app. *)
+
+val of_string : string -> (t, string) result
+(** {!Json.parse} (with positioned errors) then {!of_json}. *)
+
+val flatten : t -> (string * float) list
+(** Every numeric leaf of meta + sections as a dotted path, document
+    order — the input to {!Diff.compare}.  Lists are skipped (bucket
+    arrays and raw sample series are not meaningfully diffable
+    per-element). *)

@@ -8,6 +8,10 @@ module Event = Agp_obs.Event
 module Sink = Agp_obs.Sink
 module Chrome_trace = Agp_obs.Chrome_trace
 module Attribution = Agp_obs.Attribution
+module Lifecycle = Agp_obs.Lifecycle
+module Timeline = Agp_obs.Timeline
+module Report = Agp_obs.Report
+module Diff = Agp_obs.Diff
 module Accelerator = Agp_hw.Accelerator
 module Config = Agp_hw.Config
 module Memory = Agp_hw.Memory
@@ -175,11 +179,11 @@ let small_app () =
   Bfs_app.speculative
     (Bfs_app.workload_of_graph (Agp_graph.Generator.road ~seed:3 ~width:12 ~height:8) 0)
 
-let observed_run ?config ?sink () =
+let observed_run ?config ?sink ?timeline () =
   let app = small_app () in
   let run = app.App_instance.fresh () in
   let report =
-    Accelerator.run ?config ?sink ~spec:app.App_instance.spec
+    Accelerator.run ?config ?sink ?timeline ~spec:app.App_instance.spec
       ~bindings:run.App_instance.bindings ~state:run.App_instance.state
       ~initial:run.App_instance.initial ()
   in
@@ -367,6 +371,358 @@ let test_chrome_trace_rows () =
   check Alcotest.bool "rule engine row per set" true (List.mem "update" thread_names);
   check Alcotest.bool "link row" true (List.mem "qpi-link" thread_names)
 
+(* --- JSON parse errors carry position + context --- *)
+
+let test_json_error_positions () =
+  let expect_infix s affix =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e ->
+        if not (Astring.String.is_infix ~affix e) then
+          Alcotest.failf "error for %S lacks %S:\n%s" s affix e
+  in
+  expect_infix "{\n  \"a\": tru\n}" "line 2";
+  expect_infix "[1,]" "line 1";
+  expect_infix "[1,]" "column";
+  expect_infix "[1,]" "^";
+  (* the context window shows the offending text *)
+  expect_infix "{\"key\": flase}" "flase"
+
+let test_json_fuzz_never_raises () =
+  (* every truncation and every single-byte mutation of a valid
+     document must yield Ok or Error — never an exception *)
+  let doc =
+    Report.to_string
+      (Report.v ~kind:"t" ~app:"a"
+         ~meta:[ ("m", Json.Float 2.5) ]
+         ~sections:
+           [
+             ( "s",
+               Json.Obj
+                 [
+                   ("x", Json.Int (-1));
+                   ("y", Json.List [ Json.Float 0.5; Json.Null; Json.Bool true ]);
+                   ("z", Json.String "str\"esc\\n");
+                 ] );
+           ]
+         ())
+  in
+  let n = String.length doc in
+  for i = 0 to n - 1 do
+    (match Json.parse (String.sub doc 0 i) with
+    | Ok _ | Error _ -> ());
+    let b = Bytes.of_string doc in
+    Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + 13) land 0x7f));
+    match Json.parse (Bytes.to_string b) with
+    | Ok _ | Error _ -> ()
+  done
+
+(* --- Metrics.percentile --- *)
+
+let test_metrics_percentile () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" ~buckets:[| 10; 20 |] in
+  (match Metrics.percentile h 50.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "percentile of empty histogram accepted");
+  for _ = 1 to 10 do
+    Metrics.observe h 5
+  done;
+  check (Alcotest.float 1e-6) "p50 interpolates within first bucket" 5.0
+    (Metrics.percentile h 50.0);
+  check (Alcotest.float 1e-6) "p100 reaches bucket bound" 10.0 (Metrics.percentile h 100.0);
+  for _ = 1 to 10 do
+    Metrics.observe h 15
+  done;
+  check (Alcotest.float 1e-6) "p50 lands on the bucket edge" 10.0 (Metrics.percentile h 50.0);
+  check (Alcotest.float 1e-6) "p75 mid second bucket" 15.0 (Metrics.percentile h 75.0);
+  (match Metrics.percentile h 101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p > 100 accepted");
+  (match Metrics.percentile h (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p < 0 accepted");
+  let o = Metrics.histogram reg "over" ~buckets:[| 10 |] in
+  Metrics.observe o 1000;
+  check (Alcotest.float 1e-6) "overflow bucket clamps to last bound" 10.0
+    (Metrics.percentile o 50.0);
+  let text = Metrics.to_text reg in
+  check Alcotest.bool "to_text shows percentiles" true
+    (Astring.String.is_infix ~affix:"p50=" text)
+
+(* --- task lifecycle spans --- *)
+
+let test_lifecycle_span_invariant () =
+  let sink = Sink.collect () in
+  let report, _ = observed_run ~sink () in
+  let spans, unfinished = Lifecycle.spans (Sink.events sink) in
+  check Alcotest.int "every activation retires" 0 unfinished;
+  check Alcotest.int "one span per activation"
+    report.Accelerator.engine_stats.Engine.activated (List.length spans);
+  List.iter
+    (fun sp ->
+      let open Lifecycle in
+      let covered = sp.sp_queue_wait + sp.sp_execute + sp.sp_rdv_wait + sp.sp_squash_redo in
+      let lifetime = sp.sp_retired - sp.sp_dispatched in
+      if covered <> lifetime then
+        Alcotest.failf "span %s/%d: phases sum to %d, lifetime is %d" sp.sp_set sp.sp_tid
+          covered lifetime;
+      if sp.sp_outcome = Event.Commit && sp.sp_squash_redo <> 0 then
+        Alcotest.failf "span %s/%d: committed but charged squash-redo" sp.sp_set sp.sp_tid)
+    spans;
+  let commits =
+    List.length (List.filter (fun sp -> sp.Lifecycle.sp_outcome = Event.Commit) spans)
+  in
+  check Alcotest.int "commit spans = engine committed"
+    report.Accelerator.engine_stats.Engine.committed commits
+
+let test_lifecycle_summarize () =
+  let sink = Sink.collect () in
+  let _ = observed_run ~sink () in
+  let spans, _ = Lifecycle.spans (Sink.events sink) in
+  let stats = Lifecycle.summarize spans in
+  check Alcotest.int "both task sets present" 2 (List.length stats);
+  List.iter
+    (fun st ->
+      let open Lifecycle in
+      check Alcotest.bool (st.ls_set ^ " percentiles ordered") true
+        (st.ls_p50 <= st.ls_p90 && st.ls_p90 <= st.ls_p99 && st.ls_p99 <= st.ls_max);
+      check Alcotest.int (st.ls_set ^ " outcome partition") st.ls_tasks
+        (st.ls_commits + st.ls_squashes))
+    stats;
+  let total = List.fold_left (fun acc st -> acc + st.Lifecycle.ls_tasks) 0 stats in
+  check Alcotest.int "spans partitioned across sets" (List.length spans) total;
+  let table = Lifecycle.render stats in
+  check Alcotest.bool "renders a row per set" true
+    (Astring.String.is_infix ~affix:"update" table
+    && Astring.String.is_infix ~affix:"visit" table);
+  match Lifecycle.to_json stats with
+  | Json.Obj kvs ->
+      check Alcotest.int "json keyed by set" (List.length stats) (List.length kvs)
+  | _ -> Alcotest.fail "lifecycle json is not an object"
+
+(* --- interval timeline --- *)
+
+let test_timeline_sample_count () =
+  let interval = 100 in
+  let tl = Timeline.create ~interval () in
+  let report, _ = observed_run ~timeline:tl () in
+  let expected = (report.Accelerator.cycles + interval - 1) / interval in
+  check Alcotest.int "ceil(cycles/interval) samples" expected (Timeline.sample_count tl);
+  let samples = Timeline.samples tl in
+  let last = List.nth samples (List.length samples - 1) in
+  check Alcotest.int "last sample closes at run end" report.Accelerator.cycles
+    last.Timeline.s_cycle;
+  let cycles = List.map (fun s -> s.Timeline.s_cycle) samples in
+  check Alcotest.bool "cycle column strictly increasing" true
+    (List.sort_uniq compare cycles = cycles);
+  List.iter
+    (fun s ->
+      let open Timeline in
+      check Alcotest.bool "utilization in [0,1]" true
+        (s.s_utilization >= 0.0 && s.s_utilization <= 1.0 +. 1e-9);
+      check Alcotest.bool "hit rate in [0,1]" true
+        (s.s_hit_rate >= 0.0 && s.s_hit_rate <= 1.0 +. 1e-9);
+      check Alcotest.bool "window bytes non-negative" true (s.s_link_bytes >= 0))
+    samples;
+  let csv = Timeline.to_csv tl in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check Alcotest.int "csv = header + one row per sample" (expected + 1) (List.length lines);
+  check Alcotest.bool "csv header" true
+    (List.hd lines = "cycle,in_flight,pending,utilization,cache_hit_rate,link_bytes,link_util")
+
+let test_timeline_conservation () =
+  (* window link-bytes must sum back to the run's cumulative total *)
+  let tl = Timeline.create ~interval:64 () in
+  let report, _ = observed_run ~timeline:tl () in
+  let windowed =
+    List.fold_left (fun acc s -> acc + s.Timeline.s_link_bytes) 0 (Timeline.samples tl)
+  in
+  check Alcotest.int "link bytes conserved across windows"
+    report.Accelerator.bytes_over_link windowed
+
+let test_accel_fully_instrumented_identical () =
+  (* extends the null-sink guarantee to the new instruments: capturing
+     events AND sampling a timeline must not change the simulation *)
+  let bare, bare_run = observed_run () in
+  let tl = Timeline.create ~interval:64 () in
+  let instrumented, inst_run = observed_run ~sink:(Sink.collect ()) ~timeline:tl () in
+  check Alcotest.bool "reports identical" true
+    (fields_of_report bare = fields_of_report instrumented);
+  check Alcotest.bool "attributions identical" true
+    (Attribution.equal bare.Accelerator.attribution instrumented.Accelerator.attribution);
+  check (Alcotest.list Alcotest.string) "same final memory" []
+    (Agp_core.State.diff bare_run.App_instance.state inst_run.App_instance.state)
+
+(* --- run reports --- *)
+
+let captured_report ?config () =
+  let app = small_app () in
+  let run = app.App_instance.fresh () in
+  let sink = Sink.collect () in
+  let tl = Timeline.create ~interval:128 () in
+  let config = Option.value config ~default:Config.default in
+  let r =
+    Accelerator.run ~config ~sink ~timeline:tl ~spec:app.App_instance.spec
+      ~bindings:run.App_instance.bindings ~state:run.App_instance.state
+      ~initial:run.App_instance.initial ()
+  in
+  Accelerator.obs_report ~app:app.App_instance.app_name ~events:(Sink.events sink)
+    ~timeline:tl ~config r
+
+let test_report_roundtrip_bit_identical () =
+  let doc = captured_report () in
+  let s = Report.to_string doc in
+  match Report.of_string s with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok doc2 ->
+      check Alcotest.bool "emit -> parse -> emit bit-identical" true
+        (String.equal s (Report.to_string doc2));
+      check Alcotest.string "kind preserved" "accelerator-run" doc2.Report.kind;
+      check (Alcotest.list Alcotest.string) "section order preserved"
+        (List.map fst doc.Report.sections)
+        (List.map fst doc2.Report.sections)
+
+let test_report_envelope_validation () =
+  let bad s affix =
+    match Report.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e ->
+        if not (Astring.String.is_infix ~affix e) then
+          Alcotest.failf "error for %S lacks %S: %s" s affix e
+  in
+  bad "[1,2]" "not a JSON object";
+  bad "{\"kind\":\"x\",\"app\":\"y\"}" "schema_version";
+  bad "{\"schema_version\":99,\"kind\":\"x\",\"app\":\"y\"}" "unsupported schema_version 99";
+  bad "{\"schema_version\":1,\"app\":\"y\"}" "kind";
+  bad "{\"schema_version\":1" "line 1"
+
+let test_report_flatten () =
+  let doc =
+    Report.v ~kind:"t" ~app:"a"
+      ~meta:[ ("x", Json.Int 2) ]
+      ~sections:
+        [
+          ( "s",
+            Json.Obj
+              [
+                ("f", Json.Float 0.5);
+                ("skip_list", Json.List [ Json.Int 1 ]);
+                ("skip_str", Json.String "no");
+                ("deep", Json.Obj [ ("n", Json.Int 7) ]);
+              ] );
+        ]
+      ()
+  in
+  check Alcotest.bool "numeric leaves only, document order" true
+    (Report.flatten doc = [ ("meta.x", 2.0); ("s.f", 0.5); ("s.deep.n", 7.0) ])
+
+(* --- run diffing --- *)
+
+let test_diff_identical () =
+  let doc = captured_report () in
+  let r = Diff.compare doc doc in
+  check Alcotest.bool "has metrics to compare" true (List.length r.Diff.entries > 20);
+  check Alcotest.int "no regressions" 0 r.Diff.regressions;
+  check Alcotest.bool "not regressed" false (Diff.regressed r);
+  check Alcotest.bool "all unchanged" true
+    (List.for_all (fun e -> e.Diff.status = Diff.Unchanged) r.Diff.entries)
+
+let test_diff_degraded_bandwidth_regresses () =
+  let base = captured_report () in
+  let slow = captured_report ~config:(Config.scale_bandwidth Config.default 0.25) () in
+  let r = Diff.compare ~threshold:0.05 base slow in
+  check Alcotest.bool "quartered QPI bandwidth flags a regression" true (Diff.regressed r);
+  check Alcotest.bool "cycle count among the regressed metrics" true
+    (List.exists
+       (fun e -> e.Diff.key = "metrics.accel.cycles" && e.Diff.status = Diff.Regressed)
+       r.Diff.entries);
+  (* and the reverse comparison reads as an improvement, not a regression *)
+  let r' = Diff.compare ~threshold:0.05 slow base in
+  check Alcotest.bool "restoring bandwidth improves cycles" true
+    (List.exists
+       (fun e -> e.Diff.key = "metrics.accel.cycles" && e.Diff.status = Diff.Improved)
+       r'.Diff.entries)
+
+let test_diff_directions_and_shape () =
+  let mk kv = Report.v ~kind:"t" ~app:"a" ~sections:[ ("m", Json.Obj kv) ] () in
+  let a =
+    mk [ ("cycles", Json.Int 100); ("utilization", Json.Float 0.5); ("note", Json.Int 1) ]
+  in
+  let b =
+    mk [ ("cycles", Json.Int 150); ("utilization", Json.Float 0.25); ("note", Json.Int 2) ]
+  in
+  let r = Diff.compare a b in
+  check Alcotest.int "cycles up + utilization down = two regressions" 2 r.Diff.regressions;
+  check Alcotest.int "unrecognized key only informs" 1 r.Diff.changes;
+  let r' = Diff.compare b a in
+  check Alcotest.int "reverse direction: no regressions" 0 r'.Diff.regressions;
+  check Alcotest.int "reverse direction: two improvements" 2 r'.Diff.improvements;
+  (* added/removed metrics never gate *)
+  let c = mk [ ("cycles", Json.Int 100) ] in
+  let r'' = Diff.compare a c in
+  check Alcotest.bool "removed metric does not gate" false (Diff.regressed r'');
+  check Alcotest.bool "removal is reported" true
+    (List.exists (fun e -> e.Diff.status = Diff.Removed) r''.Diff.entries);
+  (* within-threshold drift is unchanged *)
+  let d = mk [ ("cycles", Json.Int 103); ("utilization", Json.Float 0.5); ("note", Json.Int 1) ] in
+  let r3 = Diff.compare ~threshold:0.05 a d in
+  check Alcotest.int "3% drift within 5% threshold" 0 (r3.Diff.regressions + r3.Diff.changes);
+  let table = Diff.render r in
+  check Alcotest.bool "render flags the regression" true
+    (Astring.String.is_infix ~affix:"REGRESSED" table)
+
+(* --- CLI diff exit codes (0 clean / 1 regression / 2 malformed) --- *)
+
+let cli_exe = Filename.concat (Filename.concat Filename.parent_dir_name "bin") "agp_cli.exe"
+
+let test_cli_diff_exit_codes () =
+  if not (Sys.file_exists cli_exe) then ()
+  else begin
+    let write path s =
+      let oc = open_out path in
+      output_string oc s;
+      output_char oc '\n';
+      close_out oc
+    in
+    let a = Filename.temp_file "agp_base" ".json" in
+    let b = Filename.temp_file "agp_slow" ".json" in
+    let m = Filename.temp_file "agp_bad" ".json" in
+    write a (Report.to_string (captured_report ()));
+    write b
+      (Report.to_string (captured_report ~config:(Config.scale_bandwidth Config.default 0.25) ()));
+    write m "{ this is not json";
+    let run args = Sys.command (Printf.sprintf "%s diff %s >/dev/null 2>&1" cli_exe args) in
+    check Alcotest.int "identical reports exit 0" 0 (run (a ^ " " ^ a));
+    check Alcotest.int "regressed report exits 1" 1 (run (a ^ " " ^ b));
+    check Alcotest.int "malformed report exits 2" 2 (run (a ^ " " ^ m));
+    check Alcotest.int "missing file exits 2" 2 (run (a ^ " /nonexistent/x.json"));
+    List.iter Sys.remove [ a; b; m ]
+  end
+
+(* --- Explore sweep export --- *)
+
+let test_explore_csv_and_report () =
+  let app = small_app () in
+  let candidates =
+    [ { Agp_exp.Explore.lanes = 64; pipelines_per_set = 2; window_factor = 1 } ]
+  in
+  let outcomes = Agp_exp.Explore.sweep ~candidates app in
+  let csv = Agp_exp.Explore.to_csv outcomes in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check Alcotest.int "header + one row per candidate" (List.length outcomes + 1)
+    (List.length lines);
+  check Alcotest.string "csv header"
+    "lanes,pipes_per_set,window,cycles,utilization,mem_frac,rdv_frac,squash_frac,alms,registers,fits"
+    (List.hd lines);
+  let doc = Agp_exp.Explore.report app outcomes in
+  check Alcotest.string "report kind" "explore-sweep" doc.Report.kind;
+  match Report.of_string (Report.to_string doc) with
+  | Ok doc2 ->
+      check Alcotest.bool "sweep report round-trips" true
+        (String.equal (Report.to_string doc) (Report.to_string doc2))
+  | Error e -> Alcotest.failf "sweep report does not reparse: %s" e
+
 let () =
   Alcotest.run "agp_obs"
     [
@@ -376,12 +732,15 @@ let () =
           Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "error positions" `Quick test_json_error_positions;
+          Alcotest.test_case "fuzz never raises" `Quick test_json_fuzz_never_raises;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "counter and gauge" `Quick test_metrics_counter_gauge;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+          Alcotest.test_case "percentile" `Quick test_metrics_percentile;
         ] );
       ( "sink",
         [
@@ -408,4 +767,31 @@ let () =
           Alcotest.test_case "stable ids" `Quick test_chrome_trace_stable;
           Alcotest.test_case "row naming" `Quick test_chrome_trace_rows;
         ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "span phase invariant" `Quick test_lifecycle_span_invariant;
+          Alcotest.test_case "per-set summary" `Quick test_lifecycle_summarize;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "sample count" `Quick test_timeline_sample_count;
+          Alcotest.test_case "window conservation" `Quick test_timeline_conservation;
+          Alcotest.test_case "no observer effect" `Quick test_accel_fully_instrumented_identical;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "round-trip bit-identical" `Quick test_report_roundtrip_bit_identical;
+          Alcotest.test_case "envelope validation" `Quick test_report_envelope_validation;
+          Alcotest.test_case "flatten" `Quick test_report_flatten;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical clean" `Quick test_diff_identical;
+          Alcotest.test_case "degraded bandwidth regresses" `Quick
+            test_diff_degraded_bandwidth_regresses;
+          Alcotest.test_case "directions and shape" `Quick test_diff_directions_and_shape;
+          Alcotest.test_case "cli exit codes" `Quick test_cli_diff_exit_codes;
+        ] );
+      ( "explore_export",
+        [ Alcotest.test_case "csv and report" `Quick test_explore_csv_and_report ] );
     ]
