@@ -11,6 +11,7 @@ open Bechamel
 open Toolkit
 module Experiments = Agp_exp.Experiments
 module Workloads = Agp_exp.Workloads
+module Backend = Agp_backend.Backend
 
 let scale =
   match Sys.getenv_opt "AGP_BENCH_SCALE" with
@@ -315,6 +316,57 @@ let observability () =
       let a = Agp_obs.Attribution.create () in
       Agp_obs.Attribution.charge a ~set:"visit" Agp_obs.Attribution.Busy 1)
 
+(* --- backend registry: one app across every execution substrate --- *)
+
+let backends () =
+  section (Printf.sprintf "Backend registry — SPEC-BFS across every substrate (%s)" scale_name);
+  let app = Workloads.spec_bfs scale ~seed:42 in
+  let t = Agp_util.Table.create [ "backend"; "tasks"; "time"; "check" ] in
+  let rows = ref [] in
+  List.iter
+    (fun (b : Backend.t) ->
+      if b.Backend.supports app = Ok () then begin
+        let res = Backend.run b app in
+        let tasks =
+          match res.Backend.tasks_run with
+          | Some n -> string_of_int n
+          | None -> "-"
+        in
+        let time =
+          match res.Backend.seconds with
+          | Some s -> Printf.sprintf "%.3f ms" (s *. 1e3)
+          | None -> "-"
+        in
+        let check =
+          if not b.Backend.capabilities.Backend.validates then "n/a"
+          else
+            match res.Backend.check with
+            | Ok () -> "ok"
+            | Error e -> "FAIL: " ^ e
+        in
+        rows :=
+          ( b.Backend.name,
+            Json.Obj
+              (List.concat
+                 [
+                   (match res.Backend.tasks_run with
+                   | Some n -> [ ("tasks", Json.Int n) ]
+                   | None -> []);
+                   (match res.Backend.seconds with
+                   | Some s -> [ ("seconds", Json.Float s) ]
+                   | None -> []);
+                   [ ("check_ok", Json.Bool (res.Backend.check = Ok ())) ];
+                 ]) )
+          :: !rows;
+        Agp_util.Table.add_row t [ b.Backend.name; tasks; time; check ]
+      end
+      else Agp_util.Table.add_row t [ b.Backend.name; "-"; "-"; "unsupported" ])
+    Backend.all;
+  Agp_util.Table.print t;
+  add_section "backends" (Json.Obj (List.rev !rows));
+  register "backend/sequential-spec-bfs-small" (fun () ->
+      ignore (Backend.run Backend.sequential (Workloads.spec_bfs Workloads.Small ~seed:42)))
+
 (* --- ablations --- *)
 
 let ablations () =
@@ -388,6 +440,7 @@ let () =
   schedules ();
   amplification ();
   observability ();
+  backends ();
   ablations ();
   substrates ();
   run_microbenches ();

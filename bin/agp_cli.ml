@@ -5,6 +5,12 @@
 open Cmdliner
 module Experiments = Agp_exp.Experiments
 module Workloads = Agp_exp.Workloads
+module Backend = Agp_backend.Backend
+
+(* Exit codes: 0 success, 1 invalid result / usage error, 2 malformed
+   diff input, 3 liveness failure (deadlock or step-limit) — typed
+   separately so CI can tell a spec liveness bug from a crash. *)
+let liveness_exit = 3
 
 let scale_arg =
   let parse s = Result.map_error (fun e -> `Msg e) (Workloads.scale_of_string s) in
@@ -204,64 +210,178 @@ let trace_cmd =
 
 let run_cmd =
   let workers_arg =
-    Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Workers for the software runtime.")
-  in
-  let platform_arg =
     Arg.(
       value
-      & opt string "fpga"
-      & info [ "platform" ] ~docv:"P" ~doc:"fpga | runtime | sequential.")
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Workers for the runtime backend / domains for the parallel backend.")
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt string "simulator"
+      & info [ "backend"; "platform" ] ~docv:"B"
+          ~doc:
+            "Execution backend from the registry (list them with $(b,agp backends)): \
+             sequential, runtime[:workers], parallel[:domains], simulator (alias: fpga), \
+             cpu-1core, cpu-10core, opencl.")
   in
   let bw_arg =
-    Arg.(value & opt float 1.0 & info [ "bandwidth" ] ~doc:"QPI bandwidth multiplier (fpga).")
+    Arg.(
+      value & opt float 1.0 & info [ "bandwidth" ] ~doc:"QPI bandwidth multiplier (simulator).")
   in
-  let run scale seed name platform workers bw =
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a schema-versioned machine-readable run report (JSON) to $(docv) — the \
+             artifact $(b,agp diff) compares.  Requires an obs-capable backend.")
+  in
+  let resolve_backend name ~workers ~bw =
+    let name =
+      match (name, workers) with
+      | ("runtime" | "parallel"), Some n -> Printf.sprintf "%s:%d" name n
+      | _, _ -> name
+    in
+    match Backend.find name with
+    | Error _ as e -> e
+    | Ok b ->
+        if b.Backend.name = "simulator" && bw <> 1.0 then
+          Ok
+            (Backend.simulator
+               ~config:(Agp_hw.Config.scale_bandwidth Agp_hw.Config.default bw)
+               ())
+        else Ok b
+  in
+  let print_native = function
+    | Backend.Sequential _ -> ()
+    | Backend.Runtime r ->
+        Printf.printf "  %d steps, peak %d running, peak %d parked, mean busy %.2f\n"
+          r.Agp_core.Runtime.steps r.Agp_core.Runtime.max_concurrency
+          r.Agp_core.Runtime.max_waiting r.Agp_core.Runtime.avg_busy
+    | Backend.Parallel r ->
+        Printf.printf "  %d domains used\n" r.Agp_core.Parallel_runtime.domains_used
+    | Backend.Simulated r ->
+        Printf.printf "  %d cycles, utilization %.1f%%, cache hit %.1f%%\n"
+          r.Agp_hw.Accelerator.cycles
+          (100.0 *. r.Agp_hw.Accelerator.utilization)
+          (100.0 *. r.Agp_hw.Accelerator.mem_hit_rate)
+    | Backend.Cpu r ->
+        Printf.printf "  1-core %.3f ms / 10-core %.3f ms, %d ops, L1 hit %.1f%%\n"
+          (r.Agp_baseline.Cpu_model.seconds_1core *. 1e3)
+          (r.Agp_baseline.Cpu_model.seconds_10core *. 1e3)
+          r.Agp_baseline.Cpu_model.ops
+          (100.0 *. r.Agp_baseline.Cpu_model.l1_hit_rate)
+    | Backend.Opencl r ->
+        Printf.printf "  %d host rounds, %d kernel launches, %d bytes over the link\n"
+          r.Agp_baseline.Opencl_model.rounds r.Agp_baseline.Opencl_model.kernel_launches
+          r.Agp_baseline.Opencl_model.bytes_moved
+  in
+  let run scale seed name backend workers bw report_out =
     match find_app scale seed name with
     | Error e ->
         prerr_endline e;
         exit 1
     | Ok app -> begin
-        let open Agp_apps.App_instance in
-        let describe check =
-          match check () with
-          | Ok () -> print_endline "result: VALID (matches substrate reference)"
-          | Error e ->
-              Printf.printf "result: INVALID (%s)\n" e;
-              exit 1
-        in
-        match platform with
-        | "sequential" ->
-            let report, r = run_sequential app in
-            Printf.printf "%s on sequential oracle: %d tasks\n" app.app_name
-              report.Agp_core.Sequential.tasks_run;
-            describe r.check
-        | "runtime" ->
-            let report, r = run_runtime ~workers app in
-            Printf.printf "%s on software runtime (%d workers): %d tasks, %d steps, peak %d running\n"
-              app.app_name workers report.Agp_core.Runtime.tasks_run
-              report.Agp_core.Runtime.steps report.Agp_core.Runtime.max_concurrency;
-            describe r.check
-        | "fpga" ->
-            let config = Agp_hw.Config.scale_bandwidth Agp_hw.Config.default bw in
-            let r = app.fresh () in
-            let report =
-              Agp_hw.Accelerator.run ~config ~spec:app.spec ~bindings:r.bindings ~state:r.state
-                ~initial:r.initial ()
-            in
-            Printf.printf
-              "%s on FPGA model: %d cycles (%.3f ms), utilization %.1f%%, cache hit %.1f%%\n"
-              app.app_name report.Agp_hw.Accelerator.cycles
-              (report.Agp_hw.Accelerator.seconds *. 1e3)
-              (100.0 *. report.Agp_hw.Accelerator.utilization)
-              (100.0 *. report.Agp_hw.Accelerator.mem_hit_rate);
-            describe r.check
-        | other ->
-            Printf.eprintf "unknown platform %S\n" other;
+        match resolve_backend backend ~workers ~bw with
+        | Error e ->
+            prerr_endline e;
             exit 1
+        | Ok b -> begin
+            if report_out <> None && not b.Backend.capabilities.Backend.obs_report then begin
+              Printf.eprintf "backend %s cannot emit a run report (no obs capability)\n"
+                b.Backend.name;
+              exit 1
+            end;
+            match Backend.run ~obs:(report_out <> None) b app with
+            | exception Backend.Unsupported { backend; app; reason } ->
+                Printf.eprintf "%s is unsupported on backend %s: %s\n" app backend reason;
+                exit 1
+            | exception Agp_core.Runtime.Deadlock msg ->
+                Printf.eprintf "liveness failure: %s\n" msg;
+                exit liveness_exit
+            | exception Agp_core.Runtime.Step_limit_exceeded n ->
+                Printf.eprintf "liveness failure: step limit %d exceeded without quiescing\n" n;
+                exit liveness_exit
+            | res ->
+                Printf.printf "%s on %s — %s\n" res.Backend.app_name b.Backend.name
+                  b.Backend.summary;
+                Option.iter (fun t -> Printf.printf "  %d tasks reached an outcome\n" t)
+                  res.Backend.tasks_run;
+                Option.iter (fun s -> Printf.printf "  time: %.3f ms\n" (s *. 1e3))
+                  res.Backend.seconds;
+                Option.iter
+                  (fun (s : Agp_core.Engine.stats) ->
+                    Printf.printf "  committed %d, aborted %d, retried %d\n"
+                      s.Agp_core.Engine.committed s.Agp_core.Engine.aborted
+                      s.Agp_core.Engine.retried)
+                  res.Backend.engine_stats;
+                print_native res.Backend.native;
+                Option.iter
+                  (fun path ->
+                    match res.Backend.obs with
+                    | Some doc ->
+                        write_file ~what:"run report" path (Agp_obs.Report.to_string doc);
+                        Printf.printf "wrote %s (schema v%d; diff two of these with `agp diff`)\n"
+                          path Agp_obs.Report.schema_version
+                    | None -> ())
+                  report_out;
+                (match res.Backend.check with
+                | Ok () when b.Backend.capabilities.Backend.validates ->
+                    print_endline "result: VALID (matches substrate reference)"
+                | Ok () -> print_endline "result: n/a (timing model; no state executed)"
+                | Error e ->
+                    Printf.printf "result: INVALID (%s)\n" e;
+                    exit 1)
+          end
       end
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run one application on a platform model and validate the result.")
-    Term.(const run $ scale_arg $ seed_arg $ app_arg $ platform_arg $ workers_arg $ bw_arg)
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run one application on any registered backend and validate the result.  Exits 0 on a \
+          valid run, 1 on an invalid result or usage error, 3 on a liveness failure (deadlock \
+          or step-limit)."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "agp run spec-bfs --backend simulator --scale small --report r.json";
+           `P "agp run spec-sssp --backend runtime:4";
+           `P "agp run coor-lu --backend parallel --workers 2";
+         ])
+    Term.(
+      const run $ scale_arg $ seed_arg $ app_arg $ backend_arg $ workers_arg $ bw_arg
+      $ report_arg)
+
+let backends_cmd =
+  let run () =
+    let t =
+      Agp_util.Table.create [ "name"; "timed"; "parallel"; "obs"; "validates"; "description" ]
+    in
+    let flag v = if v then "yes" else "-" in
+    List.iter
+      (fun (b : Backend.t) ->
+        let c = b.Backend.capabilities in
+        Agp_util.Table.add_row t
+          [
+            b.Backend.name;
+            flag c.Backend.timed;
+            flag c.Backend.parallel;
+            flag c.Backend.obs_report;
+            flag c.Backend.validates;
+            b.Backend.summary;
+          ])
+      Backend.all;
+    Agp_util.Table.print t;
+    print_endline
+      "parameterized forms: runtime:<workers>, parallel:<domains>; `fpga` aliases `simulator`"
+  in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:"List the registered execution backends with their capability flags.")
+    Term.(const run $ const ())
 
 let observe_cmd =
   let out_arg =
@@ -443,6 +563,7 @@ let () =
         dot_cmd;
         spec_cmd;
         run_cmd;
+        backends_cmd;
         observe_cmd;
         diff_cmd;
         explore_cmd;

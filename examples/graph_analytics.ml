@@ -1,10 +1,12 @@
 (* Graph analytics on the generated accelerators: run both aggressive
    parallelization strategies for BFS plus speculative SSSP and MST on a
    synthetic road network, comparing the FPGA model against the
-   software-baseline models — a miniature of the paper's §6.3. *)
+   software-baseline models through the backend registry — a miniature
+   of the paper's §6.3. *)
 
 module App_instance = Agp_apps.App_instance
 module Accelerator = Agp_hw.Accelerator
+module Backend = Agp_backend.Backend
 module Table = Agp_util.Table
 
 let () =
@@ -28,25 +30,30 @@ let () =
   in
   List.iter
     (fun (app : App_instance.t) ->
-      let run = app.App_instance.fresh () in
-      let hw =
-        Accelerator.run ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
-          ~state:run.App_instance.state ~initial:run.App_instance.initial ()
-      in
-      (match run.App_instance.check () with
+      let hw = Backend.run (Backend.simulator ()) app in
+      (match hw.Backend.check with
       | Ok () -> ()
       | Error e -> failwith (app.App_instance.app_name ^ ": " ^ e));
-      let cpu = Agp_baseline.Cpu_model.run app in
-      let stats = hw.Accelerator.engine_stats in
+      let report =
+        match Backend.simulated_report hw with
+        | Some r -> r
+        | None -> assert false
+      in
+      let cpu =
+        match Backend.cpu_report (Backend.run Backend.cpu_1core app) with
+        | Some r -> r
+        | None -> assert false
+      in
+      let stats = report.Accelerator.engine_stats in
       Table.add_row t
         [
           app.App_instance.app_name;
-          Table.cell_float ~decimals:3 (hw.Accelerator.seconds *. 1e3);
+          Table.cell_float ~decimals:3 (report.Accelerator.seconds *. 1e3);
           Table.cell_float ~decimals:3 (cpu.Agp_baseline.Cpu_model.seconds_1core *. 1e3);
           Table.cell_float ~decimals:3 (cpu.Agp_baseline.Cpu_model.seconds_10core *. 1e3);
           string_of_int (stats.Agp_core.Engine.aborted + stats.Agp_core.Engine.retried);
-          Printf.sprintf "%.1f%%" (100.0 *. hw.Accelerator.utilization);
-          Printf.sprintf "%.1f%%" (100.0 *. hw.Accelerator.mem_hit_rate);
+          Printf.sprintf "%.1f%%" (100.0 *. report.Accelerator.utilization);
+          Printf.sprintf "%.1f%%" (100.0 *. report.Accelerator.mem_hit_rate);
         ])
     apps;
   Table.print t;

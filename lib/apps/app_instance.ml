@@ -14,6 +14,7 @@ type t = {
   sw_task_overhead : int;
   cpu_flops_per_cycle : float;
   fpga_mlp : int;
+  graph_source : (Agp_graph.Csr.t * int) option;
 }
 
 let run_sequential t =
@@ -27,10 +28,13 @@ let run_runtime ?workers t =
   (report, r)
 
 let check_both ?workers t =
+  (* Both modes always execute and both checks always run, so a double
+     fault surfaces as both failure messages rather than only the
+     first. *)
   let label mode = Result.map_error (fun e -> mode ^ ": " ^ e) in
   let _, seq = run_sequential t in
-  match label "sequential" (seq.check ()) with
-  | Error _ as e -> e
-  | Ok () ->
-      let _, par = run_runtime ?workers t in
-      label "runtime" (par.check ())
+  let _, par = run_runtime ?workers t in
+  match (label "sequential" (seq.check ()), label "runtime" (par.check ())) with
+  | Ok (), Ok () -> Ok ()
+  | Error a, Error b -> Error (a ^ "; " ^ b)
+  | (Error _ as e), Ok () | Ok (), (Error _ as e) -> e

@@ -37,14 +37,26 @@ type t = {
   fpga_mlp : int;
       (** outstanding memory requests of a kernel's access burst: 4 for
           pointer-chasing kernels, ~32 for streaming block fetches *)
+  graph_source : (Agp_graph.Csr.t * int) option;
+      (** the CSR graph and root the workload was built from, when the
+          substrate is a graph — baselines that model kernel iteration
+          over a graph (the AOCL-BFS round model of Table 1) read it;
+          [None] for mesh/matrix substrates *)
 }
 
 val run_sequential : t -> Agp_core.Sequential.report * run
-(** Convenience: fresh instance, sequential execution, no check. *)
+(** Fresh instance, sequential execution, no check.  This and
+    {!run_runtime} are the primitive per-substrate hooks; new call
+    sites should go through the uniform [Agp_backend.Backend] registry,
+    which wraps them. *)
 
 val run_runtime : ?workers:int -> t -> Agp_core.Runtime.report * run
-(** Convenience: fresh instance, aggressive runtime execution. *)
+(** Fresh instance, aggressive runtime execution (see
+    {!run_sequential} on preferring [Agp_backend.Backend]). *)
 
 val check_both : ?workers:int -> t -> (unit, string) result
 (** Run sequentially and aggressively on fresh instances and apply both
-    checks; errors are labelled with the failing mode. *)
+    checks; errors are labelled with the failing mode.  Both executions
+    and both checks always run — a double fault reports both modes,
+    joined with ["; "], instead of hiding the second behind the
+    first. *)

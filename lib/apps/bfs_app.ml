@@ -174,6 +174,7 @@ let speculative w =
     sw_task_overhead = 60;
     cpu_flops_per_cycle = 4.0;
     fpga_mlp = 4;
+    graph_source = Some (w.graph, w.root);
   }
 
 let coordinative w =
@@ -186,4 +187,5 @@ let coordinative w =
     sw_task_overhead = 30;
     cpu_flops_per_cycle = 4.0;
     fpga_mlp = 4;
+    graph_source = Some (w.graph, w.root);
   }

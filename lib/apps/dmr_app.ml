@@ -205,4 +205,5 @@ let speculative w =
     sw_task_overhead = 400;
     cpu_flops_per_cycle = 4.0;
     fpga_mlp = 4;
+    graph_source = None;
   }

@@ -188,4 +188,5 @@ let coordinative w =
     sw_task_overhead = 200;
     cpu_flops_per_cycle = 4.0;
     fpga_mlp = 32;
+    graph_source = None;
   }

@@ -131,4 +131,6 @@ let speculative w =
     sw_task_overhead = 400;
     cpu_flops_per_cycle = 4.0;
     fpga_mlp = 4;
+    (* MST has no distinguished root; 0 serves the graph-shaped baselines *)
+    graph_source = Some (w.graph, 0);
   }

@@ -113,4 +113,5 @@ let speculative w =
     sw_task_overhead = 300;
     cpu_flops_per_cycle = 4.0;
     fpga_mlp = 4;
+    graph_source = Some (w.graph, w.root);
   }

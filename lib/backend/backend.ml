@@ -1,0 +1,314 @@
+module App_instance = Agp_apps.App_instance
+module Config = Agp_hw.Config
+module Accelerator = Agp_hw.Accelerator
+module Cpu_model = Agp_baseline.Cpu_model
+module Opencl_model = Agp_baseline.Opencl_model
+module Engine = Agp_core.Engine
+
+type capabilities = {
+  timed : bool;
+  parallel : bool;
+  obs_report : bool;
+  validates : bool;
+}
+
+type native =
+  | Sequential of Agp_core.Sequential.report
+  | Runtime of Agp_core.Runtime.report
+  | Parallel of Agp_core.Parallel_runtime.report
+  | Simulated of Accelerator.report
+  | Cpu of Cpu_model.report
+  | Opencl of Opencl_model.report
+
+type run_result = {
+  backend_name : string;
+  app_name : string;
+  check : (unit, string) result;
+  seconds : float option;
+  tasks_run : int option;
+  engine_stats : Engine.stats option;
+  obs : Agp_obs.Report.t option;
+  native : native;
+  final : App_instance.run option;
+}
+
+type t = {
+  name : string;
+  summary : string;
+  capabilities : capabilities;
+  supports : App_instance.t -> (unit, string) result;
+  exec : obs:bool -> App_instance.t -> run_result;
+}
+
+exception Unsupported of { backend : string; app : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported { backend; app; reason } ->
+        Some (Printf.sprintf "Agp_backend.Backend.Unsupported(%s on %s: %s)" app backend reason)
+    | _ -> None)
+
+let run ?(obs = false) b (app : App_instance.t) =
+  match b.supports app with
+  | Error reason ->
+      raise (Unsupported { backend = b.name; app = app.App_instance.app_name; reason })
+  | Ok () -> b.exec ~obs app
+
+let supports_all (_ : App_instance.t) = Ok ()
+
+let outcomes (s : Engine.stats) = s.Engine.committed + s.Engine.aborted + s.Engine.retried
+
+(* --- the five execution paths --- *)
+
+let sequential =
+  {
+    name = "sequential";
+    summary = "in-order oracle (Definition 4.3) — the semantics every other backend is judged against";
+    capabilities = { timed = false; parallel = false; obs_report = false; validates = true };
+    supports = supports_all;
+    exec =
+      (fun ~obs:_ app ->
+        let report, r = App_instance.run_sequential app in
+        {
+          backend_name = "sequential";
+          app_name = app.App_instance.app_name;
+          check = r.App_instance.check ();
+          seconds = None;
+          tasks_run = Some report.Agp_core.Sequential.tasks_run;
+          engine_stats = Some report.Agp_core.Sequential.stats;
+          obs = None;
+          native = Sequential report;
+          final = Some r;
+        });
+  }
+
+let default_workers = 8
+
+let runtime ?(workers = default_workers) () =
+  let name =
+    if workers = default_workers then "runtime" else Printf.sprintf "runtime:%d" workers
+  in
+  {
+    name;
+    summary =
+      Printf.sprintf "aggressive software runtime (§4.4), %d abstract workers" workers;
+    capabilities = { timed = false; parallel = true; obs_report = false; validates = true };
+    supports = supports_all;
+    exec =
+      (fun ~obs:_ app ->
+        let report, r = App_instance.run_runtime ~workers app in
+        {
+          backend_name = name;
+          app_name = app.App_instance.app_name;
+          check = r.App_instance.check ();
+          seconds = None;
+          tasks_run = Some report.Agp_core.Runtime.tasks_run;
+          engine_stats = Some report.Agp_core.Runtime.stats;
+          obs = None;
+          native = Runtime report;
+          final = Some r;
+        });
+  }
+
+let parallel ?domains () =
+  let name =
+    match domains with
+    | None -> "parallel"
+    | Some n -> Printf.sprintf "parallel:%d" n
+  in
+  {
+    name;
+    summary = "genuinely multicore OCaml-5-domains runtime (§4.4's pthread option)";
+    capabilities = { timed = false; parallel = true; obs_report = false; validates = true };
+    supports = supports_all;
+    exec =
+      (fun ~obs:_ app ->
+        let r = app.App_instance.fresh () in
+        let report =
+          Agp_core.Parallel_runtime.run ~initial:r.App_instance.initial ?domains
+            app.App_instance.spec r.App_instance.bindings r.App_instance.state
+        in
+        {
+          backend_name = name;
+          app_name = app.App_instance.app_name;
+          check = r.App_instance.check ();
+          seconds = None;
+          tasks_run = Some report.Agp_core.Parallel_runtime.tasks_run;
+          engine_stats = Some report.Agp_core.Parallel_runtime.stats;
+          obs = None;
+          native = Parallel report;
+          final = Some r;
+        });
+  }
+
+let derive_config (app : App_instance.t) (base : Config.t) =
+  {
+    base with
+    Config.mlp = app.App_instance.fpga_mlp;
+    Config.prim_latency =
+      List.map
+        (fun (name, flops) -> (name, max 2 (flops / app.App_instance.fpga_ilp)))
+        app.App_instance.kernel_flops;
+  }
+
+let simulator ?(config = Config.default) ?(auto_size = true) () =
+  {
+    name = "simulator";
+    summary = "cycle-level model of the synthesized accelerator (Fig. 7)";
+    capabilities = { timed = true; parallel = true; obs_report = true; validates = true };
+    supports = supports_all;
+    exec =
+      (fun ~obs app ->
+        let config = derive_config app config in
+        let r = app.App_instance.fresh () in
+        let sink = if obs then Agp_obs.Sink.collect () else Agp_obs.Sink.null in
+        let timeline = if obs then Some (Agp_obs.Timeline.create ~interval:256 ()) else None in
+        let report =
+          Accelerator.run ~config ~auto_size ~sink ?timeline ~spec:app.App_instance.spec
+            ~bindings:r.App_instance.bindings ~state:r.App_instance.state
+            ~initial:r.App_instance.initial ()
+        in
+        let obs_doc =
+          if obs then
+            let events = Agp_obs.Sink.events sink in
+            Some
+              (Accelerator.obs_report ~app:app.App_instance.app_name ~events ?timeline ~config
+                 report)
+          else None
+        in
+        {
+          backend_name = "simulator";
+          app_name = app.App_instance.app_name;
+          check = r.App_instance.check ();
+          seconds = Some report.Accelerator.seconds;
+          tasks_run = Some (outcomes report.Accelerator.engine_stats);
+          engine_stats = Some report.Accelerator.engine_stats;
+          obs = obs_doc;
+          native = Simulated report;
+          final = Some r;
+        });
+  }
+
+let cpu_backend which =
+  let name, summary, is_parallel =
+    match which with
+    | `One -> ("cpu-1core", "Xeon 1-core timing model (§6.3): profiled sequential replay", false)
+    | `Ten ->
+        ("cpu-10core", "Xeon 10-core timing model (§6.3): aggressive-runtime makespan", true)
+  in
+  {
+    name;
+    summary;
+    capabilities = { timed = true; parallel = is_parallel; obs_report = false; validates = false };
+    supports = supports_all;
+    exec =
+      (fun ~obs:_ app ->
+        let r = Cpu_model.run app in
+        let seconds =
+          match which with
+          | `One -> r.Cpu_model.seconds_1core
+          | `Ten -> r.Cpu_model.seconds_10core
+        in
+        {
+          backend_name = name;
+          app_name = app.App_instance.app_name;
+          check = Ok ();
+          seconds = Some seconds;
+          tasks_run = Some r.Cpu_model.tasks;
+          engine_stats = None;
+          obs = None;
+          native = Cpu r;
+          final = None;
+        });
+  }
+
+let cpu_1core = cpu_backend `One
+let cpu_10core = cpu_backend `Ten
+
+let opencl =
+  {
+    name = "opencl";
+    summary = "round-based timing model of the Altera-OpenCL HLS baseline (Table 1)";
+    capabilities = { timed = true; parallel = true; obs_report = false; validates = false };
+    supports =
+      (fun app ->
+        match app.App_instance.graph_source with
+        | Some _ -> Ok ()
+        | None ->
+            Error
+              (Printf.sprintf
+                 "%s has no graph substrate (the AOCL model iterates BFS-style kernels over a \
+                  CSR graph)"
+                 app.App_instance.app_name));
+    exec =
+      (fun ~obs:_ app ->
+        match app.App_instance.graph_source with
+        | None ->
+            raise
+              (Unsupported
+                 {
+                   backend = "opencl";
+                   app = app.App_instance.app_name;
+                   reason = "no graph substrate";
+                 })
+        | Some (g, root) ->
+            let r = Opencl_model.run_bfs g root in
+            {
+              backend_name = "opencl";
+              app_name = app.App_instance.app_name;
+              check = Ok ();
+              seconds = Some r.Opencl_model.seconds;
+              tasks_run = None;
+              engine_stats = None;
+              obs = None;
+              native = Opencl r;
+              final = None;
+            });
+  }
+
+(* --- registry --- *)
+
+let all =
+  [ sequential; runtime (); parallel (); simulator (); cpu_1core; cpu_10core; opencl ]
+
+let names = List.map (fun b -> b.name) all
+
+let find name =
+  let count what n =
+    match int_of_string_opt n with
+    | Some k when k > 0 -> Ok k
+    | Some _ | None -> Error (Printf.sprintf "%s wants a positive count, got %S" what n)
+  in
+  match String.split_on_char ':' name with
+  | [ "sequential" ] -> Ok sequential
+  | [ "runtime" ] -> Ok (runtime ())
+  | [ "runtime"; n ] -> Result.map (fun workers -> runtime ~workers ()) (count "runtime" n)
+  | [ "parallel" ] -> Ok (parallel ())
+  | [ "parallel"; n ] -> Result.map (fun domains -> parallel ~domains ()) (count "parallel" n)
+  | [ "simulator" ] | [ "fpga" ] -> Ok (simulator ())
+  | [ "cpu-1core" ] -> Ok cpu_1core
+  | [ "cpu-10core" ] -> Ok cpu_10core
+  | [ "opencl" ] -> Ok opencl
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown backend %S (known: %s; runtime:<workers> and parallel:<domains> take a \
+            count, fpga aliases simulator)"
+           name (String.concat ", " names))
+
+(* --- native accessors --- *)
+
+let simulated_report r =
+  match r.native with
+  | Simulated s -> Some s
+  | _ -> None
+
+let cpu_report r =
+  match r.native with
+  | Cpu c -> Some c
+  | _ -> None
+
+let opencl_report r =
+  match r.native with
+  | Opencl o -> Some o
+  | _ -> None

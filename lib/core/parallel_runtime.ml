@@ -59,7 +59,7 @@ let run ?(initial = []) ?domains sp bindings st =
               if !idle_spins > 1_000_000 then begin
                 if Engine.deadlocked eng then
                   Atomic.set failure
-                    (Some (Failure "Parallel_runtime.run: deadlock in rule resolution"))
+                    (Some (Runtime.Deadlock "Parallel_runtime.run: deadlock in rule resolution"))
               end
             end
       end;

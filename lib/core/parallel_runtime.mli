@@ -26,4 +26,4 @@ val run :
   report
 (** [run spec bindings state] executes to quiescence on [domains]
     domains (default: min 4 of the recommended domain count).
-    @raise Failure on deadlock. *)
+    @raise Runtime.Deadlock on a rule without a viable exit path. *)

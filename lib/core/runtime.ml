@@ -1,3 +1,13 @@
+exception Deadlock of string
+
+exception Step_limit_exceeded of int
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock msg -> Some (Printf.sprintf "Agp_core.Runtime.Deadlock(%S)" msg)
+    | Step_limit_exceeded n -> Some (Printf.sprintf "Agp_core.Runtime.Step_limit_exceeded(%d)" n)
+    | _ -> None)
+
 type report = {
   tasks_run : int;
   steps : int;
@@ -22,7 +32,7 @@ let run ?(initial = []) ?(workers = 8) ?(max_steps = 100_000_000) sp bindings st
   let occupied () = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 slots in
   while Engine.uncommitted_remaining eng do
     incr steps;
-    if !steps > max_steps then failwith "Runtime.run: step budget exceeded";
+    if !steps > max_steps then raise (Step_limit_exceeded max_steps);
     (* Fill idle workers: resumed tasks take priority over fresh pops
        (they are already deep in the pipeline). *)
     let progressed = ref false in
@@ -64,7 +74,7 @@ let run ?(initial = []) ?(workers = 8) ?(max_steps = 100_000_000) sp bindings st
       let woke = Engine.resume_ready eng in
       List.iter (fun task -> Queue.push task resumable) woke;
       if woke = [] && Engine.deadlocked eng then
-        failwith "Runtime.run: deadlock — a rule lacks a viable exit path"
+        raise (Deadlock "Runtime.run: deadlock — a rule lacks a viable exit path")
     end
   done;
   {

@@ -11,6 +11,17 @@
     pipeline, not an OS thread), so the minimum task always makes
     progress and the [otherwise] exit paths guarantee liveness. *)
 
+exception Deadlock of string
+(** Liveness failure of the {e specification}: nothing ran, nothing can
+    be woken, and the engine confirms a rule lacks a viable exit path.
+    Typed (rather than [Failure]) so harnesses and the CLI can
+    distinguish a liveness bug from an ordinary crash. *)
+
+exception Step_limit_exceeded of int
+(** The scheduler ran the given number of ticks without quiescing —
+    the spec is diverging (or the budget is too small for the
+    workload).  The payload is the exhausted budget. *)
+
 type report = {
   tasks_run : int;  (** tasks that reached an outcome (incl. squashes) *)
   steps : int;  (** scheduler ticks — a proxy for parallel makespan *)
@@ -31,5 +42,6 @@ val run :
   report
 (** [run ~initial ~workers spec bindings state] executes to quiescence
     with the given worker count (default 8), mutating [state].
-    @raise Failure on deadlock (a rule without a viable exit path) or
-    when [max_steps] (default 100 million) is exceeded. *)
+    @raise Deadlock on a rule without a viable exit path.
+    @raise Step_limit_exceeded when [max_steps] (default 100 million)
+    is exceeded. *)

@@ -4,30 +4,29 @@ module Config = Agp_hw.Config
 module Resource = Agp_hw.Resource
 module Cpu_model = Agp_baseline.Cpu_model
 module Opencl_model = Agp_baseline.Opencl_model
+module Backend = Agp_backend.Backend
 module Table = Agp_util.Table
 
+(* All platform executions go through the Agp_backend registry; the
+   helpers below unwrap the native reports the tables are built from
+   and keep the "every accelerated run is validated" guarantee. *)
+
 let accelerate ?(config = Config.default) (app : App_instance.t) =
-  let run = app.App_instance.fresh () in
-  let config =
-    {
-      config with
-      Config.mlp = app.App_instance.fpga_mlp;
-      Config.prim_latency =
-        List.map
-          (fun (name, flops) -> (name, max 2 (flops / app.App_instance.fpga_ilp)))
-          app.App_instance.kernel_flops;
-    }
-  in
-  let report =
-    Accelerator.run ~config ~spec:app.App_instance.spec ~bindings:run.App_instance.bindings
-      ~state:run.App_instance.state ~initial:run.App_instance.initial ()
-  in
+  let res = Backend.run (Backend.simulator ~config ()) app in
   begin
-    match run.App_instance.check () with
+    match res.Backend.check with
     | Ok () -> ()
-    | Error e -> failwith (Printf.sprintf "%s: accelerator result invalid: %s" app.App_instance.app_name e)
+    | Error e ->
+        failwith (Printf.sprintf "%s: accelerator result invalid: %s" app.App_instance.app_name e)
   end;
-  report
+  match Backend.simulated_report res with
+  | Some report -> report
+  | None -> assert false
+
+let cpu_model (app : App_instance.t) =
+  match Backend.cpu_report (Backend.run Backend.cpu_1core app) with
+  | Some report -> report
+  | None -> assert false
 
 (* --- Figure 9 --- *)
 
@@ -45,7 +44,7 @@ let fig9 ?(scale = Workloads.Default) ?(seed = 42) () =
   List.map
     (fun app ->
       let hw = accelerate app in
-      let cpu = Cpu_model.run app in
+      let cpu = cpu_model app in
       {
         app = app.App_instance.app_name;
         fpga_s = hw.Accelerator.seconds;
@@ -158,9 +157,15 @@ type table1 = {
 }
 
 let table1 ?(scale = Workloads.Default) ?(seed = 42) () =
-  let g = Workloads.bfs_graph scale ~seed in
-  let opencl = Opencl_model.run_bfs g 0 in
-  let spec_hw = accelerate (Workloads.spec_bfs scale ~seed) in
+  let spec_app = Workloads.spec_bfs scale ~seed in
+  let opencl =
+    (* the AOCL baseline models its rounds over the very graph the
+       SPEC-BFS workload was built from (graph_source) *)
+    match Backend.opencl_report (Backend.run Backend.opencl spec_app) with
+    | Some report -> report
+    | None -> assert false
+  in
+  let spec_hw = accelerate spec_app in
   let coor_hw = accelerate (Workloads.coor_bfs scale ~seed) in
   {
     opencl_s = opencl.Opencl_model.seconds;

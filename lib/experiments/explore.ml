@@ -3,6 +3,7 @@ module Accelerator = Agp_hw.Accelerator
 module Config = Agp_hw.Config
 module Resource = Agp_hw.Resource
 module Spec = Agp_core.Spec
+module Backend = Agp_backend.Backend
 module Table = Agp_util.Table
 
 type candidate = {
@@ -33,16 +34,14 @@ let default_candidates =
 
 let config_of (app : App_instance.t) c =
   let sets = List.map (fun ts -> (ts.Spec.ts_name, c.pipelines_per_set)) app.App_instance.spec.Spec.task_sets in
+  (* the simulator backend derives the app-specific mlp / prim
+     latencies (Backend.derive_config); the candidate only fixes the
+     template knobs under sweep *)
   {
     Config.default with
     Config.rule_lanes = c.lanes;
     Config.window_factor = c.window_factor;
     Config.pipelines = sets;
-    Config.mlp = app.App_instance.fpga_mlp;
-    Config.prim_latency =
-      List.map
-        (fun (name, flops) -> (name, max 2 (flops / app.App_instance.fpga_ilp)))
-        app.App_instance.kernel_flops;
   }
 
 let sweep ?(candidates = default_candidates) (app : App_instance.t) =
@@ -61,20 +60,20 @@ let sweep ?(candidates = default_candidates) (app : App_instance.t) =
           stall = None;
         }
       else begin
-        let run = app.App_instance.fresh () in
-        let report =
-          Accelerator.run ~config ~auto_size:false ~spec:app.App_instance.spec
-            ~bindings:run.App_instance.bindings ~state:run.App_instance.state
-            ~initial:run.App_instance.initial ()
-        in
+        let res = Backend.run (Backend.simulator ~config ~auto_size:false ()) app in
         begin
-          match run.App_instance.check () with
+          match res.Backend.check with
           | Ok () -> ()
           | Error e ->
               failwith
                 (Printf.sprintf "Explore.sweep: %s invalid under %d lanes/%d pipes: %s"
                    app.App_instance.app_name c.lanes c.pipelines_per_set e)
         end;
+        let report =
+          match Backend.simulated_report res with
+          | Some r -> r
+          | None -> assert false
+        in
         {
           candidate = c;
           cycles = report.Accelerator.cycles;

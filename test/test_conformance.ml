@@ -1,0 +1,250 @@
+(* Differential conformance of the backend registry (the §4.1 criterion
+   made executable): every state-mutating backend must agree with the
+   sequential oracle on every app, plus the registry/CLI plumbing that
+   exposes the matrix. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+module Backend = Agp_backend.Backend
+module Conformance = Agp_backend.Conformance
+module Workloads = Agp_exp.Workloads
+module App_instance = Agp_apps.App_instance
+module Runtime = Agp_core.Runtime
+
+(* Result-deterministic apps: the committed state is a function of the
+   input alone (unique BFS levels; SSSP distances on distinct random
+   weights), so conformance can demand bit-identical state, not just a
+   passing check.  MST's union-find shape, DMR's mesh and LU's float
+   accumulation order are schedule-dependent, so for those the check
+   verdict is the equivalence criterion. *)
+let state_deterministic (app : App_instance.t) =
+  List.mem app.App_instance.app_name [ "SPEC-BFS"; "COOR-BFS"; "SPEC-SSSP" ]
+
+(* Satellite: the domains runtime is exercised at 1, 2 and 4 domains,
+   not just the default, inside the same differential harness. *)
+let backends_under_test =
+  Conformance.mutating Backend.all
+  @ [ Backend.parallel ~domains:1 (); Backend.parallel ~domains:2 ();
+      Backend.parallel ~domains:4 () ]
+
+let test_matrix () =
+  let apps = Workloads.all Workloads.Small ~seed:7 in
+  let rows =
+    Conformance.matrix ~state_equiv:state_deterministic ~backends:backends_under_test apps
+  in
+  check Alcotest.int "full matrix ran"
+    (List.length apps * List.length backends_under_test)
+    (List.length rows);
+  (match Conformance.failing rows with
+  | [] -> ()
+  | bad -> Alcotest.failf "non-conforming cells:\n%s" (Conformance.render bad));
+  (* the matrix must not silently skip a mutating backend *)
+  List.iter
+    (fun r ->
+      match r.Conformance.outcome with
+      | Error (Conformance.Unsupported _) ->
+          Alcotest.failf "mutating backend %s skipped %s" r.Conformance.row_backend
+            r.Conformance.row_app
+      | _ -> ())
+    rows
+
+let test_matrix_random_seeds =
+  QCheck.Test.make ~name:"registry conforms to the oracle on random workloads" ~count:6
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let apps = Workloads.all Workloads.Small ~seed in
+      let rows =
+        Conformance.matrix ~state_equiv:state_deterministic ~backends:backends_under_test apps
+      in
+      match Conformance.failing rows with
+      | [] -> true
+      | bad -> QCheck.Test.fail_reportf "seed %d:\n%s" seed (Conformance.render bad))
+
+(* --- timing models run through the same entry point (acceptance: every
+   backend in Backend.all runs every supported app via Backend.run) --- *)
+
+let test_timing_models_run () =
+  let apps = Workloads.all Workloads.Small ~seed:7 in
+  List.iter
+    (fun (b : Backend.t) ->
+      if not b.Backend.capabilities.Backend.validates then
+        List.iter
+          (fun (app : App_instance.t) ->
+            match Backend.run b app with
+            | exception Backend.Unsupported _ ->
+                check Alcotest.bool
+                  (Printf.sprintf "%s honestly declines %s" b.Backend.name
+                     app.App_instance.app_name)
+                  true
+                  (Result.is_error (b.Backend.supports app))
+            | res ->
+                check Alcotest.bool
+                  (Printf.sprintf "%s times %s" b.Backend.name app.App_instance.app_name)
+                  true
+                  (match res.Backend.seconds with
+                  | Some s -> s > 0.0
+                  | None -> false))
+          apps)
+    Backend.all
+
+let test_obs_report_capability () =
+  let app = Workloads.spec_bfs Workloads.Small ~seed:7 in
+  let sim = Backend.simulator () in
+  let res = Backend.run ~obs:true sim app in
+  (match res.Backend.obs with
+  | None -> Alcotest.fail "obs-capable simulator returned no report under ~obs:true"
+  | Some doc ->
+      check Alcotest.string "report app" app.App_instance.app_name doc.Agp_obs.Report.app;
+      (match Agp_obs.Report.of_string (Agp_obs.Report.to_string doc) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "backend obs report does not reparse: %s" e));
+  let res' = Backend.run sim app in
+  check Alcotest.bool "no report unless asked" true (res'.Backend.obs = None);
+  let seq = Backend.run ~obs:true Backend.sequential app in
+  check Alcotest.bool "non-obs backend ignores ~obs" true (seq.Backend.obs = None)
+
+(* --- registry lookup --- *)
+
+let test_registry_find () =
+  check
+    Alcotest.(list string)
+    "registry order"
+    [ "sequential"; "runtime"; "parallel"; "simulator"; "cpu-1core"; "cpu-10core"; "opencl" ]
+    Backend.names;
+  let name s =
+    match Backend.find s with
+    | Ok b -> b.Backend.name
+    | Error e -> "error: " ^ e
+  in
+  check Alcotest.string "plain name" "runtime" (name "runtime");
+  check Alcotest.string "fpga aliases simulator" "simulator" (name "fpga");
+  check Alcotest.string "parameterized workers" "runtime:3" (name "runtime:3");
+  check Alcotest.string "parameterized domains" "parallel:2" (name "parallel:2");
+  List.iter
+    (fun bad ->
+      check Alcotest.bool (Printf.sprintf "%S rejected" bad) true
+        (Result.is_error (Backend.find bad)))
+    [ "nosuch"; "runtime:0"; "runtime:-1"; "runtime:x"; "parallel:"; "simulator:4"; "" ]
+
+(* --- typed liveness exceptions (satellite: no more stringly Failure) --- *)
+
+let test_step_limit_typed () =
+  let app = Workloads.spec_bfs Workloads.Small ~seed:7 in
+  let r = app.App_instance.fresh () in
+  match
+    Runtime.run ~initial:r.App_instance.initial ~max_steps:1 app.App_instance.spec
+      r.App_instance.bindings r.App_instance.state
+  with
+  | exception Runtime.Step_limit_exceeded n ->
+      check Alcotest.int "exception carries the exhausted budget" 1 n
+  | exception e -> Alcotest.failf "expected Step_limit_exceeded, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "a 1-step budget cannot complete SPEC-BFS"
+
+let test_conformance_classifies_liveness () =
+  (* a backend that diverges must be classified Liveness, not Crash *)
+  let app = Workloads.spec_bfs Workloads.Small ~seed:7 in
+  let starved =
+    {
+      (Backend.runtime ()) with
+      Backend.name = "starved";
+      Backend.exec =
+        (fun ~obs:_ (app : App_instance.t) ->
+          let r = app.App_instance.fresh () in
+          ignore
+            (Runtime.run ~initial:r.App_instance.initial ~max_steps:1 app.App_instance.spec
+               r.App_instance.bindings r.App_instance.state);
+          assert false);
+    }
+  in
+  match Conformance.check starved app with
+  | Error (Conformance.Liveness _) -> ()
+  | Error f -> Alcotest.failf "expected Liveness, got %s" (Conformance.failure_to_string f)
+  | Ok () -> Alcotest.fail "starved backend cannot conform"
+
+(* --- check_both double fault (satellite: no first-failure short-circuit) --- *)
+
+let test_check_both_reports_both_modes () =
+  let base = Workloads.spec_bfs Workloads.Small ~seed:7 in
+  let sabotaged which =
+    {
+      base with
+      App_instance.fresh =
+        (fun () ->
+          let r = base.App_instance.fresh () in
+          { r with App_instance.check = (fun () -> Error which) });
+    }
+  in
+  (match App_instance.check_both (sabotaged "forced failure") with
+  | Ok () -> Alcotest.fail "sabotaged check cannot pass"
+  | Error msg ->
+      let has affix = Astring.String.is_infix ~affix msg in
+      check Alcotest.bool "reports the sequential mode" true (has "sequential: forced failure");
+      check Alcotest.bool "reports the runtime mode" true (has "runtime: forced failure");
+      check Alcotest.bool "joins both faults" true (has "; "));
+  check Alcotest.bool "healthy app still passes" true (App_instance.check_both base = Ok ())
+
+(* --- CLI integration: the run/backends subcommands and the golden gate --- *)
+
+let cli_exe = Filename.concat (Filename.concat Filename.parent_dir_name "bin") "agp_cli.exe"
+
+let test_cli_run_backend_and_golden_diff () =
+  if not (Sys.file_exists cli_exe) then ()
+  else begin
+    let tmp = Filename.temp_file "agp_run" ".json" in
+    let sh fmt = Printf.ksprintf (fun s -> Sys.command (s ^ " >/dev/null 2>&1")) fmt in
+    check Alcotest.int "agp backends exits 0" 0 (sh "%s backends" cli_exe);
+    check Alcotest.int "agp run --backend simulator --report exits 0" 0
+      (sh "%s run spec-bfs --scale small --backend simulator --report %s" cli_exe tmp);
+    (* cwd is _build/default/test under dune runtest; test/golden/ when
+       launched from the repo root by hand *)
+    let golden =
+      List.find_opt Sys.file_exists
+        [
+          Filename.concat "golden" "spec-bfs-small.report.json";
+          Filename.concat (Filename.concat "test" "golden") "spec-bfs-small.report.json";
+        ]
+    in
+    (match golden with
+    | Some golden ->
+        check Alcotest.int "report accepted by the golden diff gate" 0
+          (sh "%s diff %s %s --threshold 0.25" cli_exe golden tmp)
+    | None -> Alcotest.fail "golden report not found (dep on golden/*.json missing?)");
+    check Alcotest.int "runtime backend via CLI exits 0" 0
+      (sh "%s run spec-bfs --scale small --backend runtime:2" cli_exe);
+    check Alcotest.int "unknown backend exits 1" 1
+      (sh "%s run spec-bfs --scale small --backend nosuch" cli_exe);
+    check Alcotest.int "report on non-obs backend exits 1" 1
+      (sh "%s run spec-bfs --scale small --backend sequential --report %s" cli_exe tmp);
+    check Alcotest.int "unsupported app/backend pair exits 1" 1
+      (sh "%s run spec-dmr --scale small --backend opencl" cli_exe);
+    Sys.remove tmp
+  end
+
+let () =
+  Alcotest.run "agp_backend"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "matrix: apps x mutating backends" `Quick test_matrix;
+          qtest test_matrix_random_seeds;
+          Alcotest.test_case "liveness classified, not crashed" `Quick
+            test_conformance_classifies_liveness;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "find and parameterized names" `Quick test_registry_find;
+          Alcotest.test_case "timing models run uniformly" `Quick test_timing_models_run;
+          Alcotest.test_case "obs report on request" `Quick test_obs_report_capability;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "step limit is typed" `Quick test_step_limit_typed;
+          Alcotest.test_case "check_both reports both modes" `Quick
+            test_check_both_reports_both_modes;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "run --backend / backends / golden gate" `Quick
+            test_cli_run_backend_and_golden_diff;
+        ] );
+    ]
