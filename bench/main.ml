@@ -426,6 +426,44 @@ let ablations () =
          ("pipeline_replication", Json.Obj (List.rev !pipe_rows));
        ])
 
+(* --- serving saturation (the Agp_serve daemon under offered load) --- *)
+
+let serve_saturation () =
+  section "Serving — saturation sweep against an in-process agp-serve daemon";
+  let module Serve_server = Agp_serve.Server in
+  let module Loadgen = Agp_serve.Loadgen in
+  (* requests always run the small workload: the sweep measures the
+     serving path (admission, batching, shard dispatch), not substrate
+     scaling, and offered rates must outrun request latency to find a
+     knee.  The sweep itself scales with AGP_BENCH_SCALE. *)
+  let rates, duration_s =
+    match scale with
+    | Workloads.Small -> ([ 25.0; 50.0 ], 1.0)
+    | Workloads.Medium | Workloads.Default -> ([ 25.0; 50.0; 100.0; 200.0 ], 2.0)
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "agp-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Serve_server.Unix_path sock in
+  let server = Serve_server.create () in
+  let daemon = Thread.create (fun () -> Serve_server.listen server ~addr) () in
+  let result =
+    Loadgen.saturation
+      ~spec:{ Loadgen.default_spec with Loadgen.tenant = "bench" }
+      ~addr ~rates ~duration_s ()
+  in
+  (match Loadgen.shutdown addr with
+  | Ok _ -> ()
+  | Error _ -> Serve_server.shutdown server);
+  Thread.join daemon;
+  match result with
+  | Error e -> Printf.printf "serve saturation sweep failed: %s\n" e
+  | Ok summaries ->
+      print_endline (Loadgen.render summaries);
+      let doc = Loadgen.report summaries in
+      add_section "serve_saturation" (Json.Obj doc.Agp_obs.Report.sections)
+
 let () =
   Printf.printf "aggrpipe benchmark harness — reproduction of ISCA'17 evaluation\n";
   Printf.printf "workload scale: %s\n"
@@ -443,6 +481,7 @@ let () =
   backends ();
   ablations ();
   substrates ();
+  serve_saturation ();
   run_microbenches ();
   write_json_report ();
   print_endline "\nbench: done"

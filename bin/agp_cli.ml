@@ -75,15 +75,7 @@ let app_arg =
     & pos 0 (some string) None
     & info [] ~docv:"APP" ~doc:"One of: spec-bfs, coor-bfs, spec-sssp, spec-mst, spec-dmr, coor-lu.")
 
-let find_app scale seed name =
-  match name with
-  | "spec-bfs" -> Ok (Workloads.spec_bfs scale ~seed)
-  | "coor-bfs" -> Ok (Workloads.coor_bfs scale ~seed)
-  | "spec-sssp" -> Ok (Workloads.spec_sssp scale ~seed)
-  | "spec-mst" -> Ok (Workloads.spec_mst scale ~seed)
-  | "spec-dmr" -> Ok (Workloads.spec_dmr scale ~seed)
-  | "coor-lu" -> Ok (Workloads.coor_lu scale ~seed)
-  | other -> Error (Printf.sprintf "unknown application %S" other)
+let find_app scale seed name = Workloads.find name scale ~seed
 
 let dot_cmd =
   let run scale seed name =
@@ -551,9 +543,236 @@ let diff_cmd =
          ])
     Term.(const run $ file_a $ file_b $ threshold_arg $ json_arg $ all_arg)
 
+let version_cmd =
+  let run () =
+    Printf.printf "agp %s (serve protocol v%d, obs report schema v%d)\n"
+      Agp_util.Version.version Agp_serve.Protocol.protocol_version
+      Agp_obs.Report.schema_version
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the toolkit version plus the serve wire-protocol and obs report schema \
+          versions — the triple a daemon and its clients compare during the hello handshake.")
+    Term.(const run $ const ())
+
+let addr_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Agp_serve.Server.addr_of_string s) in
+  let print fmt a = Format.pp_print_string fmt (Agp_serve.Server.addr_to_string a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Agp_serve.Server.Unix_path "/tmp/agp-serve.sock")
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:
+          "Daemon address: $(b,unix:PATH) (or any path containing /) for a Unix-domain \
+           socket, $(b,HOST:PORT) or $(b,:PORT) for TCP.")
+
+let serve_cmd =
+  let module Serve = Agp_serve in
+  let shards_arg =
+    Arg.(value & opt int Serve.Scheduler.default_config.Serve.Scheduler.shards
+         & info [ "shards" ] ~docv:"N" ~doc:"Worker shards executing requests.")
+  in
+  let batch_arg =
+    Arg.(value & opt int Serve.Scheduler.default_config.Serve.Scheduler.max_batch
+         & info [ "max-batch" ] ~docv:"N"
+             ~doc:"Max compatible requests fused into one batch (shared workload build).")
+  in
+  let depth_arg =
+    Arg.(value & opt int Serve.Admission.default_config.Serve.Admission.queue_depth
+         & info [ "queue-depth" ] ~docv:"N" ~doc:"Bounded admission queue capacity.")
+  in
+  let watermark_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shed-watermark" ] ~docv:"N"
+             ~doc:"Queue depth past which new requests are shed (default: queue depth).")
+  in
+  let quota_arg =
+    Arg.(value & opt int Serve.Admission.default_config.Serve.Admission.tenant_quota
+         & info [ "tenant-quota" ] ~docv:"N" ~doc:"Max in-flight requests per tenant.")
+  in
+  let run addr shards max_batch queue_depth watermark tenant_quota =
+    if shards < 1 || max_batch < 1 || queue_depth < 1 || tenant_quota < 1 then begin
+      prerr_endline "serve: shards, max-batch, queue-depth and tenant-quota must be >= 1";
+      exit 1
+    end;
+    let config =
+      {
+        Serve.Server.admission =
+          {
+            Serve.Admission.queue_depth;
+            shed_watermark = Option.value ~default:queue_depth watermark;
+            tenant_quota;
+          };
+        scheduler = { Serve.Scheduler.shards; max_batch };
+      }
+    in
+    let server = Serve.Server.create ~config () in
+    Printf.printf "agp-serve %s listening on %s (%d shards, queue %d, quota %d/tenant)\n%!"
+      Agp_util.Version.version
+      (Serve.Server.addr_to_string addr)
+      shards queue_depth tenant_quota;
+    (match Serve.Server.listen server ~addr with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "serve: %s failed: %s\n" fn (Unix.error_message e);
+        exit 1);
+    let s = Serve.Server.stats server in
+    Printf.printf "agp-serve: drained; %d completed, %d shed, %d errors\n"
+      s.Serve.Protocol.completed s.Serve.Protocol.shed s.Serve.Protocol.errors
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the always-on accelerator daemon: accept newline-delimited JSON run requests \
+          over a Unix or TCP socket, batch compatible ones across a pool of worker shards, \
+          shed typed Overloaded responses past the backpressure watermark, and stream back \
+          per-request verdicts and obs run reports."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "agp serve --addr unix:/tmp/agp.sock --shards 4";
+           `P "agp serve --addr :7421 --queue-depth 64 --shed-watermark 48";
+           `P "echo '{\"type\":\"ping\"}' | nc -U /tmp/agp.sock";
+         ])
+    Term.(
+      const run $ addr_arg $ shards_arg $ batch_arg $ depth_arg $ watermark_arg $ quota_arg)
+
+let loadgen_cmd =
+  let module Serve = Agp_serve in
+  let backend_name_arg =
+    Arg.(value & opt string "simulator"
+         & info [ "backend" ] ~docv:"NAME" ~doc:"Backend each request should run on.")
+  in
+  let tenant_arg =
+    Arg.(value & opt string "loadgen"
+         & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant name requests are accounted to.")
+  in
+  let obs_arg =
+    Arg.(value & flag
+         & info [ "obs" ] ~doc:"Request an embedded obs run report with each result.")
+  in
+  let rates_arg =
+    Arg.(value & opt (list float) [ 25.0; 50.0; 100.0; 200.0 ]
+         & info [ "rates" ] ~docv:"R1,R2,.."
+             ~doc:"Open-loop offered loads (requests/sec) for the saturation sweep.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 2.0
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Time spent at each offered rate.")
+  in
+  let closed_arg =
+    Arg.(value & flag
+         & info [ "closed" ]
+             ~doc:"Closed-loop mode: a fixed worker pool instead of paced arrivals.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop mode: concurrent connections.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 50
+         & info [ "requests" ] ~docv:"N" ~doc:"Closed-loop mode: requests per connection.")
+  in
+  let json_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:
+               "Write the sweep as a schema-versioned serve-saturation report — comparable \
+                with $(b,agp diff) to gate serving-throughput regressions.")
+  in
+  let stop_arg =
+    Arg.(value & flag
+         & info [ "stop" ] ~doc:"Just ask the daemon to drain and shut down, then exit.")
+  in
+  let run addr scale seed app backend tenant obs rates duration closed clients requests
+      json_out stop =
+    let fail e =
+      prerr_endline ("loadgen: " ^ e);
+      exit 1
+    in
+    if stop then begin
+      match Serve.Loadgen.shutdown addr with
+      | Ok completed -> Printf.printf "daemon drained after %d completed requests\n" completed
+      | Error e -> fail e
+    end
+    else begin
+      let spec =
+        {
+          Serve.Loadgen.app;
+          scale =
+            (match scale with
+            | Workloads.Small -> "small"
+            | Workloads.Medium -> "medium"
+            | Workloads.Default -> "default");
+          seed;
+          backend;
+          tenant;
+          obs;
+        }
+      in
+      let summaries =
+        if closed then begin
+          match Serve.Loadgen.closed_loop ~spec ~addr ~clients ~requests () with
+          | Ok s -> [ s ]
+          | Error e -> fail e
+        end
+        else begin
+          match Serve.Loadgen.saturation ~spec ~addr ~rates ~duration_s:duration () with
+          | Ok ss -> ss
+          | Error e -> fail e
+        end
+      in
+      print_endline (Serve.Loadgen.render summaries);
+      Option.iter
+        (fun path ->
+          let doc =
+            Serve.Loadgen.report
+              ~meta:
+                [
+                  ("app", spec.Serve.Loadgen.app);
+                  ("scale", spec.Serve.Loadgen.scale);
+                  ("backend", spec.Serve.Loadgen.backend);
+                  ("mode", (if closed then "closed" else "open"));
+                ]
+              summaries
+          in
+          write_file ~what:"saturation report" path (Agp_obs.Report.to_string doc);
+          Printf.printf "wrote %s (schema v%d; diff two of these with `agp diff`)\n" path
+            Agp_obs.Report.schema_version)
+        json_out;
+      if List.exists (fun s -> s.Serve.Loadgen.lost > 0) summaries then begin
+        prerr_endline "loadgen: some requests got no response before the drain deadline";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running $(b,agp serve) daemon: open-loop saturation sweeps over offered \
+          arrival rates (requests/sec, p50/p90/p99 latency, shed rate per rate) or a \
+          closed-loop throughput probe, with an optional machine-readable report for \
+          $(b,agp diff)."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "agp loadgen --addr unix:/tmp/agp.sock --rates 50,100,200 --duration 2";
+           `P "agp loadgen --addr :7421 --closed --clients 8 --requests 100";
+           `P "agp loadgen --addr unix:/tmp/agp.sock --stop";
+         ])
+    Term.(
+      const run $ addr_arg $ scale_arg $ seed_arg
+      $ Arg.(
+          value & opt string "spec-bfs"
+          & info [ "app" ] ~docv:"APP"
+              ~doc:"Application each request should run (see $(b,agp spec)).")
+      $ backend_name_arg $ tenant_arg $ obs_arg $ rates_arg $ duration_arg $ closed_arg
+      $ clients_arg $ requests_arg $ json_out_arg $ stop_arg)
+
 let () =
   let doc = "Aggressive pipelining of irregular applications — reproduction toolkit" in
-  let main = Cmd.group (Cmd.info "agp" ~doc)
+  let main = Cmd.group (Cmd.info "agp" ~doc ~version:Agp_util.Version.version)
       [
         fig9_cmd;
         fig10_cmd;
@@ -569,6 +788,9 @@ let () =
         explore_cmd;
         trace_cmd;
         amplify_cmd;
+        serve_cmd;
+        loadgen_cmd;
+        version_cmd;
       ]
   in
   exit (Cmd.eval main)

@@ -273,11 +273,66 @@ let all =
 
 let names = List.map (fun b -> b.name) all
 
+(* Edit distance for the "did you mean" hint on a misspelled backend
+   name; the candidate set is a handful of short names, so the O(nm)
+   table is free. *)
+let levenshtein a b =
+  let n = String.length a and m = String.length b in
+  let prev = Array.init (m + 1) Fun.id and cur = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    cur.(0) <- i;
+    for j = 1 to m do
+      let subst = prev.(j - 1) + if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min subst (1 + min prev.(j) cur.(j - 1))
+    done;
+    Array.blit cur 0 prev 0 (m + 1)
+  done;
+  prev.(m)
+
+let parameterized_form b =
+  match b.name with
+  | "runtime" -> Some "runtime:<workers>"
+  | "parallel" -> Some "parallel:<domains>"
+  | _ -> None
+
+let unknown_backend_message name =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "unknown backend %S" name);
+  let base = List.hd (String.split_on_char ':' name) in
+  let candidates = "fpga" :: names in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = levenshtein (String.lowercase_ascii base) c in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (c, d))
+      None candidates
+  in
+  (match best with
+  | Some (c, d) when d <= max 2 (String.length base / 3) ->
+      Buffer.add_string buf (Printf.sprintf " — did you mean %S?" c)
+  | _ -> ());
+  Buffer.add_string buf "\nregistered backends:\n";
+  List.iter
+    (fun b ->
+      let form =
+        match parameterized_form b with
+        | Some f -> Printf.sprintf "%s (also %s)" b.name f
+        | None -> b.name
+      in
+      Buffer.add_string buf (Printf.sprintf "  %-28s %s\n" form b.summary))
+    all;
+  Buffer.add_string buf "  fpga aliases simulator";
+  Buffer.contents buf
+
 let find name =
   let count what n =
     match int_of_string_opt n with
     | Some k when k > 0 -> Ok k
-    | Some _ | None -> Error (Printf.sprintf "%s wants a positive count, got %S" what n)
+    | Some _ | None ->
+        Error
+          (Printf.sprintf "%s wants a positive count, got %S (e.g. %s:4)" what n what)
   in
   match String.split_on_char ':' name with
   | [ "sequential" ] -> Ok sequential
@@ -289,12 +344,7 @@ let find name =
   | [ "cpu-1core" ] -> Ok cpu_1core
   | [ "cpu-10core" ] -> Ok cpu_10core
   | [ "opencl" ] -> Ok opencl
-  | _ ->
-      Error
-        (Printf.sprintf
-           "unknown backend %S (known: %s; runtime:<workers> and parallel:<domains> take a \
-            count, fpga aliases simulator)"
-           name (String.concat ", " names))
+  | _ -> Error (unknown_backend_message name)
 
 (* --- native accessors --- *)
 

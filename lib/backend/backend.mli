@@ -123,7 +123,11 @@ val names : string list
 val find : string -> (t, string) result
 (** Resolve a backend by name.  Accepts the registry names, ["fpga"]
     as an alias for ["simulator"], and parameterized forms
-    ["runtime:<workers>"] / ["parallel:<domains>"]. *)
+    ["runtime:<workers>"] / ["parallel:<domains>"].  The error for an
+    unknown name is self-describing: it lists every registered backend
+    with its summary and parameterized form, plus a "did you mean"
+    suggestion for near-misses — [agp run] and the serve daemon print
+    it verbatim. *)
 
 val derive_config : Agp_apps.App_instance.t -> Agp_hw.Config.t -> Agp_hw.Config.t
 (** Specialize a simulator configuration to an app: the kernel MLP

@@ -11,6 +11,11 @@ let scale_of_string = function
   | "default" -> Ok Default
   | s -> Error (Printf.sprintf "unknown scale %S (use small|medium|default)" s)
 
+let scale_name = function
+  | Small -> "small"
+  | Medium -> "medium"
+  | Default -> "default"
+
 let bfs_graph scale ~seed =
   match scale with
   | Small -> Generator.road ~seed ~width:40 ~height:25
@@ -71,3 +76,18 @@ let all scale ~seed =
     spec_dmr scale ~seed;
     coor_lu scale ~seed;
   ]
+
+let app_names = [ "spec-bfs"; "coor-bfs"; "spec-sssp"; "spec-mst"; "spec-dmr"; "coor-lu" ]
+
+let find name scale ~seed =
+  match name with
+  | "spec-bfs" -> Ok (spec_bfs scale ~seed)
+  | "coor-bfs" -> Ok (coor_bfs scale ~seed)
+  | "spec-sssp" -> Ok (spec_sssp scale ~seed)
+  | "spec-mst" -> Ok (spec_mst scale ~seed)
+  | "spec-dmr" -> Ok (spec_dmr scale ~seed)
+  | "coor-lu" -> Ok (coor_lu scale ~seed)
+  | other ->
+      Error
+        (Printf.sprintf "unknown application %S (known: %s)" other
+           (String.concat ", " app_names))

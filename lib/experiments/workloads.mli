@@ -12,9 +12,21 @@ type scale =
 
 val scale_of_string : string -> (scale, string) result
 
+val scale_name : scale -> string
+(** Inverse of {!scale_of_string}. *)
+
 val all : scale -> seed:int -> Agp_apps.App_instance.t list
 (** The six paper benchmarks: SPEC-BFS, COOR-BFS, SPEC-SSSP, SPEC-MST,
     SPEC-DMR, COOR-LU. *)
+
+val app_names : string list
+(** The CLI names of {!all}, in the same order. *)
+
+val find : string -> scale -> seed:int -> (Agp_apps.App_instance.t, string) result
+(** Resolve one benchmark by its CLI name ([spec-bfs], [coor-lu], ...)
+    and construct its workload; the error lists every known name.  The
+    single lookup behind [agp run], [agp serve] admission and the
+    loadgen client. *)
 
 val bfs_graph : scale -> seed:int -> Agp_graph.Csr.t
 (** The road-network graph shared by Table 1 and the BFS rows. *)

@@ -12,12 +12,13 @@ let contains ~sub s =
 
 (* Keyed by naming convention: report emitters use these tokens
    consistently, and anything unrecognized only informs, never gates. *)
-let higher_tokens = [ "utilization"; "hit_rate"; "busy"; "speedup" ]
+let higher_tokens = [ "utilization"; "hit_rate"; "busy"; "speedup"; "rps"; "throughput" ]
 
 let lower_tokens =
   [
     "cycles"; "seconds"; "stall"; "squash"; "abort"; "retried"; "wait"; "miss";
     "bytes_over_link"; "p50"; "p90"; "p99"; "latency"; "idle"; "queue-full"; "queue_full"; "redo";
+    "shed";
   ]
 
 let direction_of key =

@@ -60,12 +60,19 @@ let to_string t =
   write buf t;
   Buffer.contents buf
 
-exception Parse_error of string
+type located_error = {
+  err_line : int;
+  err_col : int;
+  err_reason : string;
+  err_rendered : string;
+}
+
+exception Parse_error of int * string
 
 (* Failure messages carry line/column plus a one-line context window
    with a caret, so a user pointed at a malformed report file can find
    the byte that broke it. *)
-let error_message s pos msg =
+let locate_error s pos msg =
   let n = String.length s in
   let pos = min pos n in
   let line = ref 1 and bol = ref 0 in
@@ -84,12 +91,18 @@ let error_message s pos msg =
       (String.sub s ctx_start (ctx_end - ctx_start))
   in
   let caret = String.make (pos - ctx_start) ' ' ^ "^" in
-  Printf.sprintf "%s at line %d, column %d\n  %s\n  %s" msg !line col ctx caret
+  {
+    err_line = !line;
+    err_col = col;
+    err_reason = msg;
+    err_rendered =
+      Printf.sprintf "%s at line %d, column %d\n  %s\n  %s" msg !line col ctx caret;
+  }
 
-let parse s =
+let parse_located s =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = raise (Parse_error (error_message s !pos msg)) in
+  let fail msg = raise (Parse_error (!pos, msg)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let skip_ws () =
     while
@@ -242,7 +255,9 @@ let parse s =
     v
   with
   | v -> Ok v
-  | exception Parse_error msg -> Error msg
+  | exception Parse_error (p, msg) -> Error (locate_error s p msg)
+
+let parse s = Result.map_error (fun e -> e.err_rendered) (parse_located s)
 
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs

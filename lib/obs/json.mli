@@ -27,6 +27,18 @@ val parse : string -> (t, string) result
     window, so malformed user-supplied input (e.g. a hand-edited run
     report handed to [agp diff]) points at the offending byte. *)
 
+type located_error = {
+  err_line : int;  (** 1-based *)
+  err_col : int;  (** 1-based *)
+  err_reason : string;  (** bare message, no position or context *)
+  err_rendered : string;  (** the full human-facing message of {!parse} *)
+}
+
+val parse_located : string -> (t, located_error) result
+(** {!parse} with the failure position exposed as data, for callers that
+    forward it in a structured form (the serve wire protocol replies to
+    a malformed request line with the line/column of the parse error). *)
+
 val member : string -> t -> t option
 (** First binding of a key in an [Obj]; [None] elsewhere. *)
 

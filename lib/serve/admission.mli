@@ -1,0 +1,54 @@
+(** Admission control: a bounded request queue with watermark shedding,
+    per-tenant in-flight quotas, and blocking batched dequeue.
+
+    This is the backpressure half of the serve loop (DPU-v2's lesson:
+    admission and batching, not raw kernel speed, dominate sustained
+    throughput for irregular workloads).  A request is either admitted —
+    counted against its tenant's quota until {!finish} — or shed
+    immediately with a typed {!Protocol.shed_reason}; the daemon never
+    buffers unboundedly and never blocks the accept path on execution.
+
+    All operations are thread-safe; {!take_batch} is the only blocking
+    call (worker shards park in it). *)
+
+type config = {
+  queue_depth : int;  (** hard bound on queued (not yet picked up) requests *)
+  shed_watermark : int;
+      (** shed once depth reaches this; clamped to [queue_depth].  A
+          watermark below the depth starts shedding before the queue is
+          hard-full, keeping admission latency bounded under overload. *)
+  tenant_quota : int;  (** max in-flight (queued + executing) per tenant *)
+}
+
+val default_config : config
+(** 256-deep queue, watermark at depth, 64 in-flight per tenant. *)
+
+type 'a t
+
+val create : config -> 'a t
+
+val submit : 'a t -> tenant:string -> 'a -> (unit, Protocol.shed_reason) result
+(** Admit or shed, never block.  Sheds [Queue_full] at the watermark,
+    [Quota_exceeded] when the tenant is at quota, [Draining] after
+    {!close}. *)
+
+val take_batch : 'a t -> max:int -> compatible:('a -> 'a -> bool) -> 'a list
+(** Block until at least one request is queued (or the queue is closed),
+    then dequeue the head plus up to [max - 1] further queued requests
+    [compatible] with it, preserving arrival order of what remains.
+    Returns [[]] only when the queue is closed and drained — the worker
+    shard's signal to exit. *)
+
+val finish : 'a t -> tenant:string -> unit
+(** Release one unit of [tenant]'s quota; call exactly once per admitted
+    request, after its response is settled. *)
+
+val depth : 'a t -> int
+(** Currently queued (admitted, not yet picked up by a shard). *)
+
+val in_flight : 'a t -> int
+(** Admitted and not yet finished (queued + executing). *)
+
+val close : 'a t -> unit
+(** Stop admitting ([Draining]); queued work still drains through
+    {!take_batch}.  Idempotent. *)

@@ -1,0 +1,90 @@
+(** Load generator for {!Server}: a protocol client plus open-loop and
+    closed-loop drivers and a saturation sweep.
+
+    Open-loop mode offers requests at a fixed arrival rate regardless of
+    completions, which is what exposes a saturation knee: past capacity
+    the daemon must shed (typed [Overloaded]) rather than let latency
+    grow without bound.  Closed-loop mode keeps a fixed number of
+    outstanding requests per connection — a throughput probe.  The
+    saturation sweep runs open-loop at increasing offered rates and
+    emits a schema-versioned {!Agp_obs.Report} whose sections carry
+    [rps] / [p..._ms] / [shed] keys, so [agp diff] gates
+    serving-throughput regressions like any other benchmark. *)
+
+(** A connected protocol client (one socket, NDJSON framing). *)
+type conn
+
+val connect : Server.addr -> (conn, string) result
+
+val connect_retry : ?attempts:int -> ?delay_s:float -> Server.addr -> (conn, string) result
+(** Retry [connect] while the daemon is still coming up
+    (default 50 attempts, 0.1 s apart). *)
+
+val handshake : ?client:string -> conn -> (Protocol.response, string) result
+(** Send [hello] and read the acknowledgement; an [Error_reply] with
+    kind [Incompatible] is returned as [Ok] — callers decide. *)
+
+val send : conn -> Protocol.request -> unit
+val recv : ?timeout_s:float -> conn -> (Protocol.response, string) result
+(** Blocking read of one response line; [Error] on EOF, parse failure
+    or timeout. *)
+
+val close : conn -> unit
+
+(** Workload mix offered by the drivers. *)
+type spec = {
+  app : string;
+  scale : string;
+  seed : int;
+  backend : string;
+  tenant : string;
+  obs : bool;
+}
+
+val default_spec : spec
+(** spec-bfs / small / seed 42 / simulator / tenant "loadgen", no obs. *)
+
+(** Outcome of one driver run at one offered load. *)
+type summary = {
+  label : string;
+  offered_rps : float;  (** 0.0 in closed-loop mode *)
+  duration_s : float;
+  sent : int;
+  ok : int;  (** [Result] responses with a Valid verdict *)
+  failed : int;  (** [Result] with non-Valid verdict, or [Error_reply] *)
+  shed : int;  (** typed [Overloaded] responses *)
+  lost : int;  (** sent but no response before the drain deadline *)
+  achieved_rps : float;  (** responses (ok+failed) per second *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val open_loop :
+  ?spec:spec -> addr:Server.addr -> rate:float -> duration_s:float -> unit ->
+  (summary, string) result
+(** Offer [rate] requests/sec for [duration_s] seconds on one
+    connection, reading responses concurrently; latency is measured
+    send-to-response per request id. *)
+
+val closed_loop :
+  ?spec:spec -> addr:Server.addr -> clients:int -> requests:int -> unit ->
+  (summary, string) result
+(** [clients] connections, each a synchronous send/recv loop issuing
+    [requests] requests. *)
+
+val saturation :
+  ?spec:spec -> addr:Server.addr -> rates:float list -> duration_s:float -> unit ->
+  (summary list, string) result
+(** Run {!open_loop} once per offered rate, in order. *)
+
+val render : summary list -> string
+(** Human-readable table of a sweep. *)
+
+val report : ?meta:(string * string) list -> summary list -> Agp_obs.Report.t
+(** Wrap a sweep as a [serve-saturation] report: one section per rate
+    with gated [rps] / latency / [shed] keys. *)
+
+val shutdown : Server.addr -> (int, string) result
+(** Connect, request shutdown, return the daemon's completed count. *)

@@ -1,0 +1,48 @@
+(** The worker-shard pool: demand-driven batched execution of admitted
+    run requests over the {!Agp_backend.Backend} registry.
+
+    Each shard is a thread parked in {!Admission.take_batch}; scheduling
+    is demand-driven (a free shard pulls the next batch) rather than
+    statically assigned, per the data-driven orchestration model the
+    roadmap cites.  A batch groups requests with the same
+    [(app, scale, seed)] so the expensive part they share — workload
+    construction (graph/mesh/matrix generation) — is paid once and its
+    cost amortized across the batch; each request still executes on a
+    fresh instance via {!Agp_backend.Backend.run}, so results are
+    independent.
+
+    The pool never lets a request die silently: substrate liveness
+    failures and crashes become typed responses, and every admitted job
+    reaches [on_complete] exactly once. *)
+
+type job = {
+  req : Protocol.run_request;
+  submitted_at : float;  (** [Unix.gettimeofday] at admission *)
+  respond : Protocol.response -> unit;  (** the connection's writer *)
+}
+
+type config = {
+  shards : int;
+  max_batch : int;  (** max requests fused into one batch *)
+}
+
+val default_config : config
+(** 4 shards, batches of up to 8. *)
+
+type t
+
+val start :
+  config ->
+  spans:Agp_obs.Span.t ->
+  admission:job Admission.t ->
+  on_complete:(job -> Protocol.response -> unit) ->
+  t
+(** Spawn the shard threads.  [on_complete job response] is called once
+    per job from the executing shard; the server uses it to send the
+    response, release the tenant quota and update counters.  The
+    [spans] collector receives per-request ["queue"] / ["build"] /
+    ["execute"] phases. *)
+
+val join : t -> unit
+(** Wait for every shard to exit; returns once the admission queue has
+    been closed and drained. *)

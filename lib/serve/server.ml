@@ -1,0 +1,339 @@
+module Backend = Agp_backend.Backend
+module Workloads = Agp_exp.Workloads
+module Span = Agp_obs.Span
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  let tcp host port =
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+    | Some _ | None -> Error (Printf.sprintf "bad TCP port %S" port)
+  in
+  if String.starts_with ~prefix:"unix:" s then
+    Ok (Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.starts_with ~prefix:"tcp:" s then begin
+    match String.split_on_char ':' (String.sub s 4 (String.length s - 4)) with
+    | [ host; port ] -> tcp host port
+    | [ port ] -> tcp "127.0.0.1" port
+    | _ -> Error (Printf.sprintf "bad TCP address %S (want tcp:HOST:PORT)" s)
+  end
+  else if String.contains s '/' then Ok (Unix_path s)
+  else
+    match String.split_on_char ':' s with
+    | [ host; port ] -> tcp (if host = "" then "127.0.0.1" else host) port
+    | [ port ] when port <> "" && String.for_all (fun c -> c >= '0' && c <= '9') port ->
+        tcp "127.0.0.1" port
+    | _ ->
+        Error
+          (Printf.sprintf
+             "bad address %S (want unix:PATH, a path containing '/', HOST:PORT or :PORT)" s)
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+type config = { admission : Admission.config; scheduler : Scheduler.config }
+
+let default_config =
+  { admission = Admission.default_config; scheduler = Scheduler.default_config }
+
+type t = {
+  config : config;
+  admission : Scheduler.job Admission.t;
+  scheduler : Scheduler.t;
+  spans : Span.t;
+  started_at : float;
+  mutex : Mutex.t;
+  mutable accepted : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable errors : int;
+  mutable listening_fd : Unix.file_descr option;
+  mutable listening : bool;
+  mutable stopping : bool;
+  mutable drained : bool;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ?(config = default_config) () =
+  let admission = Admission.create config.admission in
+  let spans = Span.create () in
+  let rec t =
+    lazy
+      {
+        config;
+        admission;
+        scheduler =
+          Scheduler.start config.scheduler ~spans ~admission ~on_complete:(fun job resp ->
+              let server = Lazy.force t in
+              Admission.finish admission ~tenant:job.Scheduler.req.Protocol.tenant;
+              locked server (fun () ->
+                  match resp with
+                  | Protocol.Result _ -> server.completed <- server.completed + 1
+                  | _ -> server.errors <- server.errors + 1);
+              (try job.Scheduler.respond resp with _ -> ()));
+        spans;
+        started_at = Unix.gettimeofday ();
+        mutex = Mutex.create ();
+        accepted = 0;
+        completed = 0;
+        shed = 0;
+        errors = 0;
+        listening_fd = None;
+        listening = false;
+        stopping = false;
+        drained = false;
+      }
+  in
+  Lazy.force t
+
+let stats t =
+  locked t (fun () ->
+      {
+        Protocol.uptime_ms = (Unix.gettimeofday () -. t.started_at) *. 1000.0;
+        accepted = t.accepted;
+        completed = t.completed;
+        shed = t.shed;
+        errors = t.errors;
+        depth = Admission.depth t.admission;
+        in_flight = Admission.in_flight t.admission;
+        spans = Span.summarize t.spans;
+      })
+
+(* How long a shed client should back off before retrying: the queue
+   ahead of it, costed at the observed mean execution time per shard.
+   Before any execution has been observed, a small constant. *)
+let retry_after_ms t =
+  let mean =
+    Option.value ~default:25.0 (Span.mean_ms t.spans ~phase:"execute")
+  in
+  let shards = max 1 t.config.scheduler.Scheduler.shards in
+  Float.max 1.0 (mean *. float_of_int (Admission.depth t.admission + 1) /. float_of_int shards)
+
+let bad_request id message =
+  Protocol.Error_reply
+    { id = Some id; kind = Protocol.Bad_request; message; line = None; col = None }
+
+(* Validate the cheap-to-check parts of a run request before admission,
+   so a request that can never execute is refused with the same
+   self-describing error the CLI would print, not queued. *)
+let validate_run (req : Protocol.run_request) =
+  match Workloads.scale_of_string req.Protocol.scale with
+  | Error e -> Some (bad_request req.Protocol.id e)
+  | Ok _ ->
+      if not (List.mem req.Protocol.app Workloads.app_names) then
+        Some
+          (bad_request req.Protocol.id
+             (Printf.sprintf "unknown application %S (known: %s)" req.Protocol.app
+                (String.concat ", " Workloads.app_names)))
+      else begin
+        match Backend.find req.Protocol.backend with
+        | Error e -> Some (bad_request req.Protocol.id e)
+        | Ok b ->
+            if req.Protocol.obs && not b.Backend.capabilities.Backend.obs_report then
+              Some
+                (bad_request req.Protocol.id
+                   (Printf.sprintf
+                      "backend %s cannot emit an obs run report (no obs capability)"
+                      b.Backend.name))
+            else None
+      end
+
+let wake_accept_loop t =
+  locked t (fun () ->
+      match t.listening_fd with
+      | Some fd ->
+          t.listening_fd <- None;
+          (* shutdown() on the listening socket wakes a blocked accept;
+             close alone does not reliably do so on Linux *)
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
+
+(* Stop admitting and wait for the shard pool to finish what was
+   queued; does NOT wake the accept loop, so a shutdown request can
+   still be acknowledged on its connection before the daemon's main
+   thread returns from [listen] and the process exits. *)
+let drain t =
+  let first =
+    locked t (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          true
+        end)
+  in
+  if first then begin
+    Admission.close t.admission;
+    Scheduler.join t.scheduler;
+    locked t (fun () -> t.drained <- true)
+  end
+  else
+    (* second caller waits for the first to finish draining *)
+    while not (locked t (fun () -> t.drained)) do
+      Thread.yield ()
+    done
+
+let shutdown t =
+  drain t;
+  wake_accept_loop t
+
+let handle_line t ~respond ?(on_admit = fun () -> ()) ?(on_settle = fun () -> ()) line =
+  match Protocol.read_request line with
+  | Error err ->
+      locked t (fun () -> t.errors <- t.errors + 1);
+      respond err;
+      `Continue
+  | Ok (Protocol.Hello h) ->
+      if h.Protocol.protocol <> Protocol.protocol_version then begin
+        locked t (fun () -> t.errors <- t.errors + 1);
+        respond
+          (Protocol.Error_reply
+             {
+               id = None;
+               kind = Protocol.Incompatible;
+               message =
+                 Printf.sprintf "server speaks serve protocol v%d, client sent v%d"
+                   Protocol.protocol_version h.Protocol.protocol;
+               line = None;
+               col = None;
+             })
+      end
+      else
+        respond
+          (Protocol.Hello_ack
+             {
+               server = "agp-serve";
+               version = Agp_util.Version.version;
+               protocol = Protocol.protocol_version;
+               schema = Agp_obs.Report.schema_version;
+             });
+      `Continue
+  | Ok Protocol.Ping ->
+      respond Protocol.Pong;
+      `Continue
+  | Ok Protocol.Stats ->
+      respond (Protocol.Stats_reply (stats t));
+      `Continue
+  | Ok Protocol.Shutdown ->
+      drain t;
+      respond (Protocol.Shutdown_ack { completed = locked t (fun () -> t.completed) });
+      wake_accept_loop t;
+      `Shutdown
+  | Ok (Protocol.Run req) -> begin
+      match validate_run req with
+      | Some err ->
+          locked t (fun () -> t.errors <- t.errors + 1);
+          respond err;
+          `Continue
+      | None ->
+          let job =
+            {
+              Scheduler.req;
+              submitted_at = Unix.gettimeofday ();
+              respond =
+                (fun resp ->
+                  (try respond resp with _ -> ());
+                  on_settle ());
+            }
+          in
+          (match Admission.submit t.admission ~tenant:req.Protocol.tenant job with
+          | Ok () ->
+              locked t (fun () -> t.accepted <- t.accepted + 1);
+              on_admit ()
+          | Error reason ->
+              locked t (fun () -> t.shed <- t.shed + 1);
+              respond
+                (Protocol.Overloaded
+                   { id = req.Protocol.id; reason; retry_after_ms = retry_after_ms t }));
+          `Continue
+    end
+
+let is_listening t = locked t (fun () -> t.listening)
+
+(* Per-connection loop: NDJSON in, NDJSON out.  Responses can arrive
+   from shard threads at any time, so writes are serialized by a
+   per-connection mutex; the connection is closed only once its admitted
+   requests have settled, so late results are not dropped on EOF. *)
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let wm = Mutex.create () in
+  let outstanding = ref 0 in
+  let respond resp =
+    Mutex.lock wm;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wm)
+      (fun () ->
+        try
+          output_string oc (Protocol.write resp);
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ | Unix.Unix_error _ -> ())
+  in
+  let on_admit () = Mutex.lock wm; incr outstanding; Mutex.unlock wm in
+  let on_settle () = Mutex.lock wm; decr outstanding; Mutex.unlock wm in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> begin
+        match handle_line t ~respond ~on_admit ~on_settle line with
+        | `Continue -> loop ()
+        | `Shutdown -> ()
+      end
+  in
+  loop ();
+  (* wait (bounded) for in-flight results to flush before closing *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while
+    Mutex.lock wm;
+    let n = !outstanding in
+    Mutex.unlock wm;
+    n > 0 && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.005
+  done;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen t ~addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd =
+    match addr with
+    | Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        fd
+  in
+  Unix.listen fd 64;
+  locked t (fun () ->
+      t.listening_fd <- Some fd;
+      t.listening <- true);
+  let rec accept_loop () =
+    if locked t (fun () -> t.stopping) then ()
+    else
+      match Unix.accept fd with
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+        ->
+          if locked t (fun () -> t.stopping) then () else accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | cfd, _ ->
+          ignore (Thread.create (fun () -> handle_conn t cfd) ());
+          accept_loop ()
+  in
+  accept_loop ();
+  locked t (fun () -> t.listening <- false);
+  wake_accept_loop t;
+  match addr with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

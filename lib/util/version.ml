@@ -1,0 +1,4 @@
+(* Bumped once per shipped change set; `agp version` pairs it with the
+   obs report schema version and the serve protocol version so a daemon
+   and a client can tell at handshake time whether they match. *)
+let version = "0.6.0"

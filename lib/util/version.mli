@@ -1,0 +1,8 @@
+(** The compiled-in toolkit version.
+
+    Printed by [agp version] / [agp --version] and exchanged in the
+    [Agp_serve] hello handshake, alongside the obs report schema version
+    and the serve protocol version, so daemon and client can check
+    compatibility before any work is admitted. *)
+
+val version : string
