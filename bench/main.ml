@@ -426,6 +426,38 @@ let ablations () =
          ("pipeline_replication", Json.Obj (List.rev !pipe_rows));
        ])
 
+(* --- simulator throughput (the cycles/sec ratchet) --- *)
+
+let sim_throughput () =
+  section
+    (Printf.sprintf "Simulator throughput — simulated cycles per host second (SPEC-BFS, %s)"
+       scale_name);
+  let run_once () =
+    let app = Workloads.spec_bfs scale ~seed:42 in
+    let run = app.Agp_apps.App_instance.fresh () in
+    Agp_hw.Accelerator.run ~spec:app.Agp_apps.App_instance.spec
+      ~bindings:run.Agp_apps.App_instance.bindings ~state:run.Agp_apps.App_instance.state
+      ~initial:run.Agp_apps.App_instance.initial ()
+  in
+  (* best of 5: the ratchet gate wants the machine's capability, not its
+     scheduler noise *)
+  let best = ref (run_once ()) in
+  for _ = 1 to 4 do
+    let r = run_once () in
+    if r.Agp_hw.Accelerator.sim_cycles_per_sec > !best.Agp_hw.Accelerator.sim_cycles_per_sec
+    then best := r
+  done;
+  let r = !best in
+  Printf.printf "%d cycles in %.4f s -> %.3g simulated cycles/sec (best of 5)\n"
+    r.Agp_hw.Accelerator.cycles r.Agp_hw.Accelerator.wall_seconds
+    r.Agp_hw.Accelerator.sim_cycles_per_sec;
+  add_section "sim_throughput"
+    (Json.Obj
+       [
+         ("cycles", Json.Int r.Agp_hw.Accelerator.cycles);
+         ("sim_cycles_per_sec", Json.Float r.Agp_hw.Accelerator.sim_cycles_per_sec);
+       ])
+
 (* --- serving saturation (the Agp_serve daemon under offered load) --- *)
 
 let serve_saturation () =
@@ -481,6 +513,7 @@ let () =
   backends ();
   ablations ();
   substrates ();
+  sim_throughput ();
   serve_saturation ();
   run_microbenches ();
   write_json_report ();

@@ -591,11 +591,33 @@ let serve_cmd =
     Arg.(value & opt int Serve.Admission.default_config.Serve.Admission.tenant_quota
          & info [ "tenant-quota" ] ~docv:"N" ~doc:"Max in-flight requests per tenant.")
   in
-  let run addr shards max_batch queue_depth watermark tenant_quota =
+  let trace_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:
+               "Capture per-request Chrome trace spans (queue/build/execute per request \
+                id) and write $(i,DIR)/serve-trace.json when the daemon drains.")
+  in
+  let log_level_arg =
+    Arg.(value & opt string "info"
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:
+               "Structured NDJSON log threshold on stderr: debug, info, warn or error. \
+                Lines carry the request id for correlation with traces and reports.")
+  in
+  let run addr shards max_batch queue_depth watermark tenant_quota trace_dir log_level =
     if shards < 1 || max_batch < 1 || queue_depth < 1 || tenant_quota < 1 then begin
       prerr_endline "serve: shards, max-batch, queue-depth and tenant-quota must be >= 1";
       exit 1
     end;
+    let level =
+      match Agp_obs.Log.level_of_string log_level with
+      | Ok l -> l
+      | Error e ->
+          prerr_endline ("serve: " ^ e);
+          exit 1
+    in
+    let log = Agp_obs.Log.create ~level ~clock:Unix.gettimeofday ~out:stderr () in
     let config =
       {
         Serve.Server.admission =
@@ -607,19 +629,31 @@ let serve_cmd =
         scheduler = { Serve.Scheduler.shards; max_batch };
       }
     in
-    let server = Serve.Server.create ~config () in
-    Printf.printf "agp-serve %s listening on %s (%d shards, queue %d, quota %d/tenant)\n%!"
-      Agp_util.Version.version
-      (Serve.Server.addr_to_string addr)
-      shards queue_depth tenant_quota;
+    let server = Serve.Server.create ~config ~log ?trace_dir () in
+    Agp_obs.Log.info log
+      ~fields:
+        [
+          ("version", Agp_obs.Json.String Agp_util.Version.version);
+          ("addr", Agp_obs.Json.String (Serve.Server.addr_to_string addr));
+          ("shards", Agp_obs.Json.Int shards);
+          ("queue_depth", Agp_obs.Json.Int queue_depth);
+          ("tenant_quota", Agp_obs.Json.Int tenant_quota);
+        ]
+      "agp-serve starting";
     (match Serve.Server.listen server ~addr with
     | () -> ()
     | exception Unix.Unix_error (e, fn, _) ->
         Printf.eprintf "serve: %s failed: %s\n" fn (Unix.error_message e);
         exit 1);
     let s = Serve.Server.stats server in
-    Printf.printf "agp-serve: drained; %d completed, %d shed, %d errors\n"
-      s.Serve.Protocol.completed s.Serve.Protocol.shed s.Serve.Protocol.errors
+    Agp_obs.Log.info log
+      ~fields:
+        [
+          ("completed", Agp_obs.Json.Int s.Serve.Protocol.completed);
+          ("shed", Agp_obs.Json.Int s.Serve.Protocol.shed);
+          ("errors", Agp_obs.Json.Int s.Serve.Protocol.errors);
+        ]
+      "agp-serve drained"
   in
   Cmd.v
     (Cmd.info "serve"
@@ -633,10 +667,58 @@ let serve_cmd =
            `S Manpage.s_examples;
            `P "agp serve --addr unix:/tmp/agp.sock --shards 4";
            `P "agp serve --addr :7421 --queue-depth 64 --shed-watermark 48";
+           `P "agp serve --addr unix:/tmp/agp.sock --trace-dir traces --log-level debug";
            `P "echo '{\"type\":\"ping\"}' | nc -U /tmp/agp.sock";
          ])
     Term.(
-      const run $ addr_arg $ shards_arg $ batch_arg $ depth_arg $ watermark_arg $ quota_arg)
+      const run $ addr_arg $ shards_arg $ batch_arg $ depth_arg $ watermark_arg $ quota_arg
+      $ trace_dir_arg $ log_level_arg)
+
+let stats_cmd =
+  let follow_arg =
+    Arg.(value & flag
+         & info [ "follow" ]
+             ~doc:"Keep scraping: print a fresh snapshot every $(b,--interval) seconds.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Delay between snapshots with $(b,--follow).")
+  in
+  let run addr follow interval =
+    if interval <= 0.0 then begin
+      prerr_endline "stats: interval must be positive";
+      exit 1
+    end;
+    let fetch () =
+      match Agp_serve.Loadgen.fetch_metrics addr with
+      | Ok text ->
+          print_string text;
+          flush stdout
+      | Error e ->
+          prerr_endline ("stats: " ^ e);
+          exit 1
+    in
+    fetch ();
+    if follow then
+      while true do
+        Thread.delay interval;
+        print_newline ();
+        fetch ()
+      done
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape a running $(b,agp serve) daemon's live telemetry as Prometheus text \
+          exposition: cumulative counters and histograms since boot plus rolling-window \
+          p50/p90/p99 (last 60 s) for request latency, queueing and execution."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "agp stats --addr unix:/tmp/agp.sock";
+           `P "agp stats --addr :7421 --follow --interval 1";
+         ])
+    Term.(const run $ addr_arg $ follow_arg $ interval_arg)
 
 let loadgen_cmd =
   let module Serve = Agp_serve in
@@ -789,6 +871,7 @@ let () =
         trace_cmd;
         amplify_cmd;
         serve_cmd;
+        stats_cmd;
         loadgen_cmd;
         version_cmd;
       ]

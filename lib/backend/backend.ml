@@ -48,11 +48,30 @@ let () =
         Some (Printf.sprintf "Agp_backend.Backend.Unsupported(%s on %s: %s)" app backend reason)
     | _ -> None)
 
-let run ?(obs = false) b (app : App_instance.t) =
+let run ?(obs = false) ?request_id b (app : App_instance.t) =
   match b.supports app with
   | Error reason ->
       raise (Unsupported { backend = b.name; app = app.App_instance.app_name; reason })
-  | Ok () -> b.exec ~obs app
+  | Ok () -> begin
+      let res = b.exec ~obs app in
+      (* serve stamps the originating request id into the report meta so
+         the archived artifact joins against trace spans and log lines *)
+      match request_id with
+      | None -> res
+      | Some id ->
+          {
+            res with
+            obs =
+              Option.map
+                (fun (r : Agp_obs.Report.t) ->
+                  {
+                    r with
+                    Agp_obs.Report.meta =
+                      r.Agp_obs.Report.meta @ [ ("request_id", Agp_obs.Json.String id) ];
+                  })
+                res.obs;
+          }
+    end
 
 let supports_all (_ : App_instance.t) = Ok ()
 

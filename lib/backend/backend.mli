@@ -74,10 +74,13 @@ type t = {
 
 exception Unsupported of { backend : string; app : string; reason : string }
 
-val run : ?obs:bool -> t -> Agp_apps.App_instance.t -> run_result
+val run : ?obs:bool -> ?request_id:string -> t -> Agp_apps.App_instance.t -> run_result
 (** The single entry point: execute [app] on the backend, on a fresh
     instance.  [obs] (default false) asks obs-capable backends to
     capture the full event stream / timeline and attach a run report.
+    [request_id] (set by the serve scheduler) is stamped into the
+    report's meta as ["request_id"], correlating the archived artifact
+    with the daemon's trace spans and log lines.
     @raise Unsupported when [supports] rejects the app.
     @raise Agp_core.Runtime.Deadlock and
     @raise Agp_core.Runtime.Step_limit_exceeded propagate from the

@@ -27,6 +27,10 @@ type report = {
   utilization : float;
       (** mean active primitive operations over total instantiated
           primitive operations (the Fig. 10 metric) *)
+  wall_seconds : float;  (** host wall-clock time spent simulating *)
+  sim_cycles_per_sec : float;
+      (** simulator throughput ([cycles / wall_seconds]) — the
+          higher-is-better signal the CI ratchet gates on *)
   engine_stats : Agp_core.Engine.stats;
   mem_reads : int;
   mem_writes : int;

@@ -218,3 +218,74 @@ let to_json ?(trace_name = "agp") events =
     ]
 
 let to_string ?trace_name events = Json.to_string (to_json ?trace_name events)
+
+(* --- wall-clock request traces (serve daemon) --- *)
+
+type request_span = {
+  rs_phase : string;
+  rs_start_us : int;
+  rs_dur_us : int;
+  rs_args : (string * Json.t) list;
+}
+
+type request_trace = {
+  rt_id : string;
+  rt_spans : request_span list;
+}
+
+let requests_to_json ?(trace_name = "agp-serve") requests =
+  (* one row per request: its queue/build/execute spans are sequential,
+     so each row nests cleanly no matter how requests overlap in time *)
+  let md ?tid ~pid name value =
+    Json.Obj
+      ([ ("name", Json.String name); ("ph", Json.String "M"); ("ts", Json.Int 0);
+         ("pid", Json.Int pid) ]
+      @ (match tid with
+        | Some t -> [ ("tid", Json.Int t) ]
+        | None -> [])
+      @ [ ("args", Json.Obj [ ("name", Json.String value) ]) ])
+  in
+  let meta =
+    md ~pid:1 "process_name" "serve requests"
+    :: List.mapi (fun i rt -> md ~tid:(i + 1) ~pid:1 "thread_name" rt.rt_id) requests
+  in
+  let spans =
+    List.concat
+      (List.mapi
+         (fun i rt ->
+           List.map
+             (fun rs ->
+               ( rs.rs_start_us,
+                 Json.Obj
+                   [
+                     ("name", Json.String rs.rs_phase);
+                     ("ph", Json.String "X");
+                     ("ts", Json.Int rs.rs_start_us);
+                     ("dur", Json.Int (max 0 rs.rs_dur_us));
+                     ("pid", Json.Int 1);
+                     ("tid", Json.Int (i + 1));
+                     ("cat", Json.String "request");
+                     ("args", Json.Obj (("request", Json.String rt.rt_id) :: rs.rs_args));
+                   ] ))
+             rt.rt_spans)
+         requests)
+  in
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) spans in
+  let max_ts =
+    List.fold_left
+      (fun acc rt ->
+        List.fold_left (fun acc rs -> max acc (rs.rs_start_us + max 0 rs.rs_dur_us)) acc rt.rt_spans)
+      0 requests
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map snd sorted));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("name", Json.String trace_name);
+            ("requests", Json.Int (List.length requests));
+            ("maxTsUs", Json.Int max_ts);
+          ] );
+    ]

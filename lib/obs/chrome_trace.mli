@@ -25,3 +25,29 @@ val to_json : ?trace_name:string -> (int * Event.t) list -> Json.t
 
 val to_string : ?trace_name:string -> (int * Event.t) list -> string
 (** [Json.to_string] of {!to_json}. *)
+
+(** {2 Wall-clock request traces}
+
+    The serve daemon records per-request phase spans (queue, build,
+    execute) in microseconds of wall time rather than simulator cycles;
+    the same Trace Event Format applies, with one process row group
+    ("serve requests") and one thread row per request, named by its
+    request id — so slices within a row are always properly nested no
+    matter how requests overlap across the daemon. *)
+
+type request_span = {
+  rs_phase : string;  (** slice name, e.g. ["queue"] *)
+  rs_start_us : int;  (** microseconds since the trace epoch *)
+  rs_dur_us : int;  (** clamped to [>= 0] on export *)
+  rs_args : (string * Json.t) list;
+}
+
+type request_trace = {
+  rt_id : string;  (** request id (becomes the row name) *)
+  rt_spans : request_span list;
+}
+
+val requests_to_json : ?trace_name:string -> request_trace list -> Json.t
+(** Complete ["X"] slices sorted by start time, metadata first; every
+    slice carries [cat = "request"] and an [args.request] id so it
+    joins against [Obs.Log] lines and {!Span} phase records. *)

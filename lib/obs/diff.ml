@@ -12,7 +12,11 @@ let contains ~sub s =
 
 (* Keyed by naming convention: report emitters use these tokens
    consistently, and anything unrecognized only informs, never gates. *)
-let higher_tokens = [ "utilization"; "hit_rate"; "busy"; "speedup"; "rps"; "throughput" ]
+(* higher_tokens is matched first, so "cycles_per_sec" wins over the
+   "cycles" lower-token it contains: sim_cycles_per_sec is a throughput
+   ratchet, raw cycle counts still gate downward. *)
+let higher_tokens =
+  [ "utilization"; "hit_rate"; "busy"; "speedup"; "rps"; "throughput"; "cycles_per_sec" ]
 
 let lower_tokens =
   [

@@ -1,0 +1,83 @@
+(* Leveled structured logging as NDJSON: one JSON object per line, a
+   fixed envelope (ts/level/msg, plus req for request correlation) and
+   free-form extra fields.  The clock is injected so agp_obs keeps no
+   wall-clock dependency and log tests are deterministic. *)
+
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+let severity = function
+  | Debug -> 0
+  | Info -> 1
+  | Warn -> 2
+  | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | _ -> Error (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s)
+
+type t = {
+  mutable threshold : level;
+  clock : unit -> float;
+  out : out_channel option; (* None = the null logger *)
+  mutex : Mutex.t;
+}
+
+let create ?(level = Info) ~clock ~out () =
+  { threshold = level; clock; out = Some out; mutex = Mutex.create () }
+
+let null = { threshold = Error; clock = (fun () -> 0.0); out = None; mutex = Mutex.create () }
+
+let set_level t l = t.threshold <- l
+
+let level t = t.threshold
+
+let enabled t l = t.out <> None && severity l >= severity t.threshold
+
+let reserved = [ "ts"; "level"; "msg"; "req" ]
+
+let log t l ?req ?(fields = []) msg =
+  if enabled t l then
+    match t.out with
+    | None -> ()
+    | Some out ->
+        let fields = List.filter (fun (k, _) -> not (List.mem k reserved)) fields in
+        let doc =
+          Json.Obj
+            (("ts", Json.Float (t.clock ()))
+            :: ("level", Json.String (level_name l))
+            :: ("msg", Json.String msg)
+            :: ((match req with
+                | Some id -> [ ("req", Json.String id) ]
+                | None -> [])
+               @ fields))
+        in
+        let line = Json.to_string doc in
+        Mutex.lock t.mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.mutex)
+          (fun () ->
+            output_string out line;
+            output_char out '\n';
+            flush out)
+
+let debug t ?req ?fields msg = log t Debug ?req ?fields msg
+
+let info t ?req ?fields msg = log t Info ?req ?fields msg
+
+let warn t ?req ?fields msg = log t Warn ?req ?fields msg
+
+let error t ?req ?fields msg = log t Error ?req ?fields msg

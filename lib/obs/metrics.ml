@@ -104,7 +104,8 @@ let sample_sum h = h.h_sum
 
 let percentile h p =
   if p < 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p out of range";
-  if h.h_count = 0 then invalid_arg "Metrics.percentile: empty histogram";
+  if h.h_count = 0 then 0.0
+  else
   let target = p /. 100.0 *. float_of_int h.h_count in
   let nb = Array.length h.bounds in
   let rec go i cum =
@@ -126,6 +127,20 @@ let percentile h p =
   go 0 0
 
 let metrics reg = List.rev reg.order
+
+type exported =
+  | Counter_value of string * int
+  | Gauge_value of string * float
+  | Histogram_value of string * histogram
+
+let export reg =
+  List.map
+    (fun m ->
+      match m with
+      | Counter c -> Counter_value (c.c_name, c.c_count)
+      | Gauge g -> Gauge_value (g.g_name, g.g_value)
+      | Histogram h -> Histogram_value (h.h_name, h))
+    (metrics reg)
 
 let to_text reg =
   let buf = Buffer.create 256 in

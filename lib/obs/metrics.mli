@@ -54,8 +54,18 @@ val percentile : histogram -> float -> float
     the bucket the rank falls in (lower edge 0 for the first bucket).
     Ranks landing in the overflow bucket clamp to the last configured
     bound — a histogram only knows its samples up to its bounds.
-    @raise Invalid_argument on an empty histogram or [p] out of
-    range. *)
+    Total on an empty histogram: returns 0.0 (scrape paths must never
+    raise on a registry that has not observed anything yet).
+    @raise Invalid_argument on [p] out of range. *)
+
+type exported =
+  | Counter_value of string * int
+  | Gauge_value of string * float
+  | Histogram_value of string * histogram
+
+val export : registry -> exported list
+(** Read-only view of every metric in insertion order, for exposition
+    layers ({!Telemetry}) that render a whole registry. *)
 
 val to_text : registry -> string
 (** One line per metric, insertion order.  Non-empty histograms include

@@ -1,4 +1,9 @@
-let schema_version = 1
+(* v2: accelerator runs gained wall-clock throughput
+   (metrics.accel.sim_cycles_per_sec); v1 documents remain readable
+   since the envelope itself is unchanged. *)
+let schema_version = 2
+
+let min_readable_version = 1
 
 type t = {
   kind : string;
@@ -25,7 +30,7 @@ let of_json j =
   match j with
   | Json.Obj kvs -> begin
       match Json.member "schema_version" j with
-      | Some (Json.Int ver) when ver = schema_version -> begin
+      | Some (Json.Int ver) when ver >= min_readable_version && ver <= schema_version -> begin
           match (Json.member "kind" j, Json.member "app" j) with
           | Some (Json.String kind), Some (Json.String app) ->
               let meta =
@@ -39,8 +44,9 @@ let of_json j =
         end
       | Some (Json.Int ver) ->
           Error
-            (Printf.sprintf "report: unsupported schema_version %d (this tool reads version %d)"
-               ver schema_version)
+            (Printf.sprintf
+               "report: unsupported schema_version %d (this tool reads versions %d..%d)" ver
+               min_readable_version schema_version)
       | Some _ -> Error "report: schema_version is not an integer"
       | None -> Error "report: missing \"schema_version\" (not a run report?)"
     end

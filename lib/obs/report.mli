@@ -7,7 +7,7 @@
 
     Layout (version {!schema_version}):
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "kind": "accelerator-run" | "explore-sweep" | "bench",
       "app": "<application or harness name>",
       "meta": { ...configuration scalars... },
@@ -20,6 +20,12 @@
     in [test/test_obs.ml]). *)
 
 val schema_version : int
+(** Version written by {!to_json}.  v2 added wall-clock throughput
+    ([metrics.accel.sim_cycles_per_sec]) to accelerator-run reports. *)
+
+val min_readable_version : int
+(** Oldest version {!of_json} still accepts (the envelope has not
+    changed shape, so v1 artifacts remain diffable). *)
 
 type t = {
   kind : string;

@@ -1,0 +1,118 @@
+(* Rolling-window sample store: percentiles over the last [span_s]
+   seconds of observations, not over the whole process lifetime.  The
+   clock is always passed in by the caller — agp_obs stays wall-clock
+   free, so windows are exactly reproducible in tests. *)
+
+module Stats = Agp_util.Stats
+
+type t = {
+  w_name : string;
+  span_s : float;
+  max_samples : int;
+  mutex : Mutex.t;
+  (* newest-first (at, value); pruned lazily on observe/summary *)
+  mutable samples : (float * float) list;
+  mutable n : int;
+  mutable lifetime : int;
+  mutable dropped : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ?(max_samples = 65536) ~span_s name =
+  if span_s <= 0.0 then invalid_arg "Window.create: span_s must be positive";
+  if max_samples < 1 then invalid_arg "Window.create: max_samples must be >= 1";
+  {
+    w_name = name;
+    span_s;
+    max_samples;
+    mutex = Mutex.create ();
+    samples = [];
+    n = 0;
+    lifetime = 0;
+    dropped = 0;
+  }
+
+let name t = t.w_name
+
+let span_s t = t.span_s
+
+(* drop samples older than [now - span_s]; the list is newest-first so
+   everything after the first stale element is stale too *)
+let prune t ~now =
+  let horizon = now -. t.span_s in
+  let rec keep acc kept = function
+    | [] -> (List.rev acc, kept)
+    | (at, _) :: _ when at < horizon -> (List.rev acc, kept)
+    | s :: rest -> keep (s :: acc) (kept + 1) rest
+  in
+  let live, kept = keep [] 0 t.samples in
+  t.samples <- live;
+  t.n <- kept
+
+let observe t ~now v =
+  locked t (fun () ->
+      prune t ~now;
+      t.lifetime <- t.lifetime + 1;
+      if t.n >= t.max_samples then begin
+        (* cap memory under overload: drop the oldest live sample *)
+        let rec drop_last = function
+          | [] | [ _ ] -> []
+          | s :: rest -> s :: drop_last rest
+        in
+        t.samples <- drop_last t.samples;
+        t.dropped <- t.dropped + 1
+      end
+      else t.n <- t.n + 1;
+      t.samples <- (now, v) :: t.samples)
+
+type summary = {
+  s_name : string;
+  s_span_s : float;
+  s_count : int;
+  s_lifetime : int;
+  s_dropped : int;
+  s_rate_per_sec : float;
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_max : float;
+}
+
+let summary t ~now =
+  locked t (fun () ->
+      prune t ~now;
+      let vs = Array.of_list (List.map snd t.samples) in
+      let n = Array.length vs in
+      let pct p = Stats.percentile_nearest vs p in
+      {
+        s_name = t.w_name;
+        s_span_s = t.span_s;
+        s_count = n;
+        s_lifetime = t.lifetime;
+        s_dropped = t.dropped;
+        s_rate_per_sec = float_of_int n /. t.span_s;
+        s_mean = Stats.mean vs;
+        s_p50 = pct 50.0;
+        s_p90 = pct 90.0;
+        s_p99 = pct 99.0;
+        s_max = (if n = 0 then 0.0 else Stats.maximum vs);
+      })
+
+let summary_json s =
+  Json.Obj
+    [
+      ("window_s", Json.Float s.s_span_s);
+      ("count", Json.Int s.s_count);
+      ("lifetime", Json.Int s.s_lifetime);
+      ("dropped", Json.Int s.s_dropped);
+      ("rate_per_sec", Json.Float s.s_rate_per_sec);
+      ("mean", Json.Float s.s_mean);
+      ("p50", Json.Float s.s_p50);
+      ("p90", Json.Float s.s_p90);
+      ("p99", Json.Float s.s_p99);
+      ("max", Json.Float s.s_max);
+    ]

@@ -156,8 +156,8 @@ let tally_response t resp =
   | Protocol.Error_reply { id; _ } ->
       Option.iter settle id;
       t.failed <- t.failed + 1
-  | Protocol.Hello_ack _ | Protocol.Stats_reply _ | Protocol.Pong
-  | Protocol.Shutdown_ack _ ->
+  | Protocol.Hello_ack _ | Protocol.Stats_reply _ | Protocol.Metrics_reply _
+  | Protocol.Pong | Protocol.Shutdown_ack _ ->
       ());
   Mutex.unlock t.tm
 
@@ -167,10 +167,16 @@ let tally_pending t =
   Mutex.unlock t.tm;
   n
 
+(* Nearest-rank over the raw samples: total at any n (0 samples -> 0,
+   p99 of a handful of samples is their max), which is the honest
+   answer for a short measurement window — interpolating between two
+   latencies invents a value nobody observed. *)
+let percentile_ms latencies p = Stats.percentile_nearest (Array.of_list latencies) p
+
 let summarize t ~label ~offered_rps ~duration_s ~sent =
   let lat = Array.of_list t.latencies_ms in
   Array.sort compare lat;
-  let pct p = if Array.length lat = 0 then 0.0 else Stats.percentile lat p in
+  let pct p = percentile_ms t.latencies_ms p in
   let responded = t.ok + t.failed in
   {
     label;
@@ -359,6 +365,28 @@ let report ?(meta = []) summaries =
     ~meta:(List.map (fun (k, v) -> (k, Json.String v)) meta)
     ~sections:(List.map (fun s -> (s.label, summary_to_json s)) summaries)
     ()
+
+let fetch_metrics ?(timeout_s = 10.0) addr =
+  match connect addr with
+  | Error e -> Error e
+  | Ok conn ->
+      let finish r =
+        close conn;
+        r
+      in
+      let fail fmt = Printf.ksprintf (fun m -> finish (Error m)) fmt in
+      begin
+        match handshake ~client:"agp-stats" conn with
+        | Error e -> fail "handshake failed: %s" e
+        | Ok (Protocol.Error_reply { message; _ }) -> fail "handshake refused: %s" message
+        | Ok _ -> begin
+            send conn Protocol.Metrics;
+            match recv ~timeout_s conn with
+            | Ok (Protocol.Metrics_reply { text }) -> finish (Ok text)
+            | Ok _ -> fail "unexpected reply to metrics request"
+            | Error e -> fail "metrics request failed: %s" e
+          end
+      end
 
 let shutdown addr =
   match connect addr with

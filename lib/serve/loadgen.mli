@@ -61,6 +61,12 @@ type summary = {
   max_ms : float;
 }
 
+val percentile_ms : float list -> float -> float
+(** The drivers' latency percentile: nearest-rank
+    ({!Agp_util.Stats.percentile_nearest}) over the raw samples.  Total
+    at any sample count — 0 for no samples, the single sample for
+    n = 1, and p99 equal to the max for small n. *)
+
 val open_loop :
   ?spec:spec -> addr:Server.addr -> rate:float -> duration_s:float -> unit ->
   (summary, string) result
@@ -85,6 +91,11 @@ val render : summary list -> string
 val report : ?meta:(string * string) list -> summary list -> Agp_obs.Report.t
 (** Wrap a sweep as a [serve-saturation] report: one section per rate
     with gated [rps] / latency / [shed] keys. *)
+
+val fetch_metrics : ?timeout_s:float -> Server.addr -> (string, string) result
+(** Connect, handshake, request the daemon's Prometheus exposition
+    ([metrics] request) and return its text — the body of
+    [agp stats]. *)
 
 val shutdown : Server.addr -> (int, string) result
 (** Connect, request shutdown, return the daemon's completed count. *)

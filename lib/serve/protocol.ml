@@ -1,7 +1,8 @@
 module Json = Agp_obs.Json
 module Span = Agp_obs.Span
 
-let protocol_version = 1
+(* v2: metrics request/reply (Prometheus text exposition). *)
+let protocol_version = 2
 
 type hello = { client : string; version : string; protocol : int }
 
@@ -19,6 +20,7 @@ type request =
   | Hello of hello
   | Run of run_request
   | Stats
+  | Metrics
   | Ping
   | Shutdown
 
@@ -71,6 +73,7 @@ type response =
   | Result of outcome
   | Overloaded of { id : string; reason : shed_reason; retry_after_ms : float }
   | Stats_reply of stats
+  | Metrics_reply of { text : string }
   | Pong
   | Shutdown_ack of { completed : int }
   | Error_reply of {
@@ -109,6 +112,7 @@ let request_to_json = function
           ("obs", Json.Bool r.obs);
         ]
   | Stats -> Json.Obj [ ("type", Json.String "stats") ]
+  | Metrics -> Json.Obj [ ("type", Json.String "metrics") ]
   | Ping -> Json.Obj [ ("type", Json.String "ping") ]
   | Shutdown -> Json.Obj [ ("type", Json.String "shutdown") ]
 
@@ -190,6 +194,8 @@ let response_to_json = function
           ("in_flight", Json.Int s.in_flight);
           ("spans", Span.to_json s.spans);
         ]
+  | Metrics_reply m ->
+      Json.Obj [ ("type", Json.String "metrics"); ("text", Json.String m.text) ]
   | Pong -> Json.Obj [ ("type", Json.String "pong") ]
   | Shutdown_ack a ->
       Json.Obj [ ("type", Json.String "shutdown"); ("completed", Json.Int a.completed) ]
@@ -233,7 +239,7 @@ let bool_default j k d =
 
 let request_of_json j =
   match Option.bind (Json.member "type" j) Json.to_str with
-  | None -> Error "request needs a string \"type\" field (hello|run|stats|ping|shutdown)"
+  | None -> Error "request needs a string \"type\" field (hello|run|stats|metrics|ping|shutdown)"
   | Some "hello" ->
       let* protocol = int_field j "protocol" in
       Ok
@@ -258,6 +264,7 @@ let request_of_json j =
              obs = bool_default j "obs" false;
            })
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some "ping" -> Ok Ping
   | Some "shutdown" -> Ok Shutdown
   | Some other -> Error (Printf.sprintf "unknown request type %S" other)
@@ -351,6 +358,9 @@ let response_of_json j =
       Ok
         (Stats_reply
            { uptime_ms; accepted; completed; shed; errors; depth; in_flight; spans })
+  | Some "metrics" ->
+      let* text = str_field j "text" in
+      Ok (Metrics_reply { text })
   | Some "pong" -> Ok Pong
   | Some "shutdown" ->
       let* completed = int_field j "completed" in

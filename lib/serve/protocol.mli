@@ -15,6 +15,8 @@
 module Json = Agp_obs.Json
 
 val protocol_version : int
+(** v2: added the [metrics] request/reply pair (Prometheus text
+    exposition of the daemon's live telemetry). *)
 
 (** {1 Requests} *)
 
@@ -34,6 +36,9 @@ type request =
   | Hello of hello
   | Run of run_request
   | Stats  (** snapshot of server counters and request-level spans *)
+  | Metrics
+      (** Prometheus text exposition of the daemon's registry and
+          rolling windows ({!Agp_obs.Telemetry}) *)
   | Ping
   | Shutdown  (** drain admitted work, reply, stop the daemon *)
 
@@ -94,6 +99,9 @@ type response =
   | Result of outcome
   | Overloaded of { id : string; reason : shed_reason; retry_after_ms : float }
   | Stats_reply of stats
+  | Metrics_reply of { text : string }
+      (** Prometheus exposition; transported as one JSON string so the
+          wire stays line-delimited *)
   | Pong
   | Shutdown_ack of { completed : int }
   | Error_reply of {

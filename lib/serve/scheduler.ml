@@ -1,6 +1,7 @@
 module Backend = Agp_backend.Backend
 module Workloads = Agp_exp.Workloads
 module Span = Agp_obs.Span
+module Log = Agp_obs.Log
 
 type job = {
   req : Protocol.run_request;
@@ -28,7 +29,7 @@ let bad_request (job : job) message =
   Protocol.Error_reply
     { id = Some job.req.Protocol.id; kind = Protocol.Bad_request; message; line = None; col = None }
 
-let execute ~shard ~batch ~build_ms ~spans app (job : job) =
+let execute ~shard ~batch ~build_ms ~spans ~log app (job : job) =
   let req = job.req in
   let t0 = Unix.gettimeofday () in
   match Backend.find req.Protocol.backend with
@@ -58,7 +59,7 @@ let execute ~shard ~batch ~build_ms ~spans app (job : job) =
                   Option.map Agp_obs.Report.to_json r.Backend.obs);
           }
       in
-      match Backend.run ~obs:want_obs b app with
+      match Backend.run ~obs:want_obs ~request_id:req.Protocol.id b app with
       | exception Backend.Unsupported { reason; _ } ->
           finish (Protocol.Unsupported reason) None
       | exception Agp_core.Runtime.Deadlock msg -> finish (Protocol.Liveness msg) None
@@ -68,6 +69,9 @@ let execute ~shard ~batch ~build_ms ~spans app (job : job) =
                (Printf.sprintf "step limit %d exceeded without quiescing" n))
             None
       | exception exn ->
+          Log.error log ~req:req.Protocol.id
+            ~fields:[ ("backend", Agp_obs.Json.String b.Backend.name) ]
+            (Printf.sprintf "substrate crashed: %s" (Printexc.to_string exn));
           Protocol.Error_reply
             {
               id = Some req.Protocol.id;
@@ -87,7 +91,7 @@ let execute ~shard ~batch ~build_ms ~spans app (job : job) =
           finish verdict (Some res)
     end
 
-let shard_loop config ~spans ~admission ~on_complete shard =
+let shard_loop config ~spans ~log ~tracer ~admission ~on_complete shard =
   let rec loop () =
     match Admission.take_batch admission ~max:config.max_batch ~compatible with
     | [] -> ()  (* closed and drained *)
@@ -102,28 +106,53 @@ let shard_loop config ~spans ~admission ~on_complete shard =
         in
         let build_ms = ms_since t_build in
         Span.record spans ~phase:"build" build_ms;
+        let t_built = t_build +. (build_ms /. 1000.0) in
         let batch = List.length jobs in
         List.iter
           (fun job ->
             Span.record spans ~phase:"queue" ((t_build -. job.submitted_at) *. 1000.0);
+            let t_exec = Unix.gettimeofday () in
             let response =
               match built with
               | Error e -> bad_request job e  (* admission validated; defensive *)
-              | Ok app -> execute ~shard ~batch ~build_ms ~spans app job
+              | Ok app -> execute ~shard ~batch ~build_ms ~spans ~log app job
             in
+            let t_done = Unix.gettimeofday () in
+            (match tracer with
+            | Some tr ->
+                (* the same three phases Span aggregates, but scoped to
+                   this request id for the Chrome trace *)
+                Tracer.record tr ~id:job.req.Protocol.id ~shard ~batch
+                  ~phases:
+                    [
+                      ("queue", job.submitted_at, t_build);
+                      ("build", t_build, t_built);
+                      ("execute", t_exec, t_done);
+                    ]
+            | None -> ());
+            Log.debug log ~req:job.req.Protocol.id
+              ~fields:
+                [
+                  ("shard", Agp_obs.Json.Int shard);
+                  ("batch", Agp_obs.Json.Int batch);
+                  ("ms", Agp_obs.Json.Float ((t_done -. job.submitted_at) *. 1000.0));
+                ]
+              "request executed";
             on_complete job response)
           jobs;
         loop ()
   in
   loop ()
 
-let start config ~spans ~admission ~on_complete =
+let start ?(log = Log.null) ?tracer config ~spans ~admission ~on_complete =
   let shards = max 1 config.shards in
   let config = { shards; max_batch = max 1 config.max_batch } in
   {
     threads =
       List.init shards (fun i ->
-          Thread.create (fun () -> shard_loop config ~spans ~admission ~on_complete i) ());
+          Thread.create
+            (fun () -> shard_loop config ~spans ~log ~tracer ~admission ~on_complete i)
+            ());
   }
 
 let join t = List.iter Thread.join t.threads

@@ -32,6 +32,8 @@ val default_config : config
 type t
 
 val start :
+  ?log:Agp_obs.Log.t ->
+  ?tracer:Tracer.t ->
   config ->
   spans:Agp_obs.Span.t ->
   admission:job Admission.t ->
@@ -41,7 +43,11 @@ val start :
     per job from the executing shard; the server uses it to send the
     response, release the tenant quota and update counters.  The
     [spans] collector receives per-request ["queue"] / ["build"] /
-    ["execute"] phases. *)
+    ["execute"] phases; when a [tracer] is given the same three phases
+    are also recorded against the request id for the Chrome trace, and
+    the request id is passed into {!Agp_backend.Backend.run} so obs
+    reports carry it in their meta.  [log] receives per-request debug
+    lines and substrate-crash errors, correlated by request id. *)
 
 val join : t -> unit
 (** Wait for every shard to exit; returns once the admission queue has

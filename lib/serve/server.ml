@@ -1,6 +1,11 @@
 module Backend = Agp_backend.Backend
 module Workloads = Agp_exp.Workloads
 module Span = Agp_obs.Span
+module Log = Agp_obs.Log
+module Json = Agp_obs.Json
+module Metrics = Agp_obs.Metrics
+module Window = Agp_obs.Window
+module Telemetry = Agp_obs.Telemetry
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -43,6 +48,16 @@ type t = {
   admission : Scheduler.job Admission.t;
   scheduler : Scheduler.t;
   spans : Span.t;
+  telemetry : Telemetry.t;
+  log : Log.t;
+  tracer : Tracer.t option;
+  m_accepted : Metrics.counter;
+  m_completed : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_errors : Metrics.counter;
+  w_latency : Window.t;
+  w_queue : Window.t;
+  w_exec : Window.t;
   started_at : float;
   mutex : Mutex.t;
   mutable accepted : int;
@@ -59,24 +74,49 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let create ?(config = default_config) () =
+let window_span_s = 60.0
+
+let create ?(config = default_config) ?(log = Log.null) ?trace_dir () =
   let admission = Admission.create config.admission in
   let spans = Span.create () in
+  let telemetry = Telemetry.create () in
+  let reg = Telemetry.registry telemetry in
+  let tracer = Option.map (fun dir -> Tracer.create ~dir ()) trace_dir in
   let rec t =
     lazy
       {
         config;
         admission;
         scheduler =
-          Scheduler.start config.scheduler ~spans ~admission ~on_complete:(fun job resp ->
+          Scheduler.start ~log ?tracer config.scheduler ~spans ~admission
+            ~on_complete:(fun job resp ->
               let server = Lazy.force t in
               Admission.finish admission ~tenant:job.Scheduler.req.Protocol.tenant;
               locked server (fun () ->
                   match resp with
-                  | Protocol.Result _ -> server.completed <- server.completed + 1
-                  | _ -> server.errors <- server.errors + 1);
+                  | Protocol.Result o ->
+                      server.completed <- server.completed + 1;
+                      Metrics.incr server.m_completed;
+                      let now = Unix.gettimeofday () in
+                      Window.observe server.w_latency ~now
+                        ((now -. job.Scheduler.submitted_at) *. 1000.0);
+                      Window.observe server.w_queue ~now o.Protocol.timing.Protocol.queue_ms;
+                      Window.observe server.w_exec ~now o.Protocol.timing.Protocol.exec_ms
+                  | _ ->
+                      server.errors <- server.errors + 1;
+                      Metrics.incr server.m_errors);
               (try job.Scheduler.respond resp with _ -> ()));
         spans;
+        telemetry;
+        log;
+        tracer;
+        m_accepted = Metrics.counter reg "serve.requests_accepted_total";
+        m_completed = Metrics.counter reg "serve.requests_completed_total";
+        m_shed = Metrics.counter reg "serve.requests_shed_total";
+        m_errors = Metrics.counter reg "serve.errors_total";
+        w_latency = Telemetry.window telemetry ~span_s:window_span_s "serve.latency_ms";
+        w_queue = Telemetry.window telemetry ~span_s:window_span_s "serve.queue_ms";
+        w_exec = Telemetry.window telemetry ~span_s:window_span_s "serve.exec_ms";
         started_at = Unix.gettimeofday ();
         mutex = Mutex.create ();
         accepted = 0;
@@ -103,6 +143,20 @@ let stats t =
         in_flight = Admission.in_flight t.admission;
         spans = Span.summarize t.spans;
       })
+
+let telemetry t = t.telemetry
+
+let tracer t = t.tracer
+
+(* Point-in-time gauges are set at scrape time; counters and windows
+   are maintained continuously by the admission/completion paths. *)
+let prometheus t =
+  let now = Unix.gettimeofday () in
+  let reg = Telemetry.registry t.telemetry in
+  Metrics.set (Metrics.gauge reg "serve.queue_depth") (float_of_int (Admission.depth t.admission));
+  Metrics.set (Metrics.gauge reg "serve.in_flight") (float_of_int (Admission.in_flight t.admission));
+  Metrics.set (Metrics.gauge reg "serve.uptime_seconds") (now -. t.started_at);
+  Telemetry.to_prometheus t.telemetry ~now
 
 (* How long a shed client should back off before retrying: the queue
    ahead of it, costed at the observed mean execution time per shard.
@@ -168,8 +222,27 @@ let drain t =
         end)
   in
   if first then begin
+    Log.info t.log "draining: admission closed, waiting for shards";
     Admission.close t.admission;
     Scheduler.join t.scheduler;
+    (match t.tracer with
+    | Some tr -> begin
+        match Tracer.flush tr with
+        | Ok path ->
+            Log.info t.log
+              ~fields:
+                [
+                  ("path", Json.String path);
+                  ("requests", Json.Int (Tracer.request_count tr));
+                  ("dropped", Json.Int (Tracer.dropped tr));
+                ]
+              "request trace written"
+        | Error e -> Log.warn t.log (Printf.sprintf "request trace flush failed: %s" e)
+      end
+    | None -> ());
+    Log.info t.log
+      ~fields:[ ("completed", Json.Int (locked t (fun () -> t.completed))) ]
+      "drained";
     locked t (fun () -> t.drained <- true)
   end
   else
@@ -185,12 +258,26 @@ let shutdown t =
 let handle_line t ~respond ?(on_admit = fun () -> ()) ?(on_settle = fun () -> ()) line =
   match Protocol.read_request line with
   | Error err ->
-      locked t (fun () -> t.errors <- t.errors + 1);
+      locked t (fun () ->
+          t.errors <- t.errors + 1;
+          Metrics.incr t.m_errors);
+      (match err with
+      | Protocol.Error_reply { id; message; _ } -> Log.warn t.log ?req:id message
+      | _ -> ());
       respond err;
       `Continue
   | Ok (Protocol.Hello h) ->
       if h.Protocol.protocol <> Protocol.protocol_version then begin
-        locked t (fun () -> t.errors <- t.errors + 1);
+        locked t (fun () ->
+            t.errors <- t.errors + 1;
+            Metrics.incr t.m_errors);
+        Log.warn t.log
+          ~fields:
+            [
+              ("client", Json.String h.Protocol.client);
+              ("client_protocol", Json.Int h.Protocol.protocol);
+            ]
+          "incompatible client protocol";
         respond
           (Protocol.Error_reply
              {
@@ -219,7 +306,11 @@ let handle_line t ~respond ?(on_admit = fun () -> ()) ?(on_settle = fun () -> ()
   | Ok Protocol.Stats ->
       respond (Protocol.Stats_reply (stats t));
       `Continue
+  | Ok Protocol.Metrics ->
+      respond (Protocol.Metrics_reply { text = prometheus t });
+      `Continue
   | Ok Protocol.Shutdown ->
+      Log.info t.log "shutdown requested";
       drain t;
       respond (Protocol.Shutdown_ack { completed = locked t (fun () -> t.completed) });
       wake_accept_loop t;
@@ -227,7 +318,12 @@ let handle_line t ~respond ?(on_admit = fun () -> ()) ?(on_settle = fun () -> ()
   | Ok (Protocol.Run req) -> begin
       match validate_run req with
       | Some err ->
-          locked t (fun () -> t.errors <- t.errors + 1);
+          locked t (fun () ->
+              t.errors <- t.errors + 1;
+              Metrics.incr t.m_errors);
+          (match err with
+          | Protocol.Error_reply { message; _ } -> Log.warn t.log ~req:req.Protocol.id message
+          | _ -> ());
           respond err;
           `Continue
       | None ->
@@ -243,10 +339,31 @@ let handle_line t ~respond ?(on_admit = fun () -> ()) ?(on_settle = fun () -> ()
           in
           (match Admission.submit t.admission ~tenant:req.Protocol.tenant job with
           | Ok () ->
-              locked t (fun () -> t.accepted <- t.accepted + 1);
+              locked t (fun () ->
+                  t.accepted <- t.accepted + 1;
+                  Metrics.incr t.m_accepted);
+              Log.debug t.log ~req:req.Protocol.id
+                ~fields:
+                  [
+                    ("app", Json.String req.Protocol.app);
+                    ("tenant", Json.String req.Protocol.tenant);
+                    ("depth", Json.Int (Admission.depth t.admission));
+                  ]
+                "request admitted";
               on_admit ()
           | Error reason ->
-              locked t (fun () -> t.shed <- t.shed + 1);
+              locked t (fun () ->
+                  t.shed <- t.shed + 1;
+                  Metrics.incr t.m_shed);
+              let reason_name =
+                match reason with
+                | Protocol.Queue_full _ -> "queue-full"
+                | Protocol.Quota_exceeded _ -> "quota"
+                | Protocol.Draining -> "draining"
+              in
+              Log.warn t.log ~req:req.Protocol.id
+                ~fields:[ ("reason", Json.String reason_name) ]
+                "request shed";
               respond
                 (Protocol.Overloaded
                    { id = req.Protocol.id; reason; retry_after_ms = retry_after_ms t }));
@@ -316,6 +433,13 @@ let listen t ~addr =
         fd
   in
   Unix.listen fd 64;
+  Log.info t.log
+    ~fields:
+      [
+        ("addr", Json.String (addr_to_string addr));
+        ("shards", Json.Int t.config.scheduler.Scheduler.shards);
+      ]
+    "listening";
   locked t (fun () ->
       t.listening_fd <- Some fd;
       t.listening <- true);

@@ -33,8 +33,12 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
-(** Build the admission queue and start the shard pool; no socket yet. *)
+val create : ?config:config -> ?log:Agp_obs.Log.t -> ?trace_dir:string -> unit -> t
+(** Build the admission queue and start the shard pool; no socket yet.
+    [log] (default {!Agp_obs.Log.null}) receives leveled NDJSON lines
+    correlated by request id; [trace_dir] enables per-request Chrome
+    tracing — the capture is written to [<trace_dir>/serve-trace.json]
+    when the daemon drains. *)
 
 val handle_line : t -> respond:(Protocol.response -> unit) -> ?on_admit:(unit -> unit) ->
   ?on_settle:(unit -> unit) -> string -> [ `Continue | `Shutdown ]
@@ -48,6 +52,20 @@ val handle_line : t -> respond:(Protocol.response -> unit) -> ?on_admit:(unit ->
     stopped admitting, drained, and replied. *)
 
 val stats : t -> Protocol.stats
+
+val telemetry : t -> Agp_obs.Telemetry.t
+(** The daemon's live registry + rolling windows:
+    [serve.requests_{accepted,completed,shed}_total] / [serve.errors_total]
+    counters, [serve.{queue_depth,in_flight,uptime_seconds}] gauges
+    (set at scrape time), and 60 s windows [serve.latency_ms] /
+    [serve.queue_ms] / [serve.exec_ms]. *)
+
+val prometheus : t -> string
+(** Refresh the point-in-time gauges and render the whole surface as
+    Prometheus text exposition — the [metrics] protocol reply and the
+    body behind [agp stats]. *)
+
+val tracer : t -> Tracer.t option
 
 val shutdown : t -> unit
 (** Close admission, drain the shard pool and wake the accept loop.

@@ -1,0 +1,34 @@
+(** Per-request Chrome trace collection for the serve daemon.
+
+    Shard threads {!record} each request's wall-clock phase spans
+    (queue / build / execute, as epoch-second intervals); {!flush}
+    writes the whole capture as one Trace Event Format file —
+    [<dir>/serve-trace.json] via
+    {!Agp_obs.Chrome_trace.requests_to_json} — when the daemon drains.
+    Timestamps are rebased to the tracer's creation time, in
+    microseconds, so the file opens directly in Perfetto. *)
+
+type t
+
+val create : ?max_requests:int -> dir:string -> unit -> t
+(** Capture at most [max_requests] (default 10000) requests; beyond
+    that new requests are counted in {!dropped} instead of growing the
+    capture without bound.  [dir] is created on {!flush}. *)
+
+val record :
+  t -> id:string -> shard:int -> batch:int -> phases:(string * float * float) list -> unit
+(** [record t ~id ~shard ~batch ~phases] adds one request's spans;
+    each phase is [(name, start, finish)] in epoch seconds.
+    Thread-safe. *)
+
+val request_count : t -> int
+
+val dropped : t -> int
+
+val path : t -> string
+(** Where {!flush} writes. *)
+
+val flush : t -> (string, string) result
+(** Write the capture (creating [dir] if needed); returns the file
+    path.  Subsequent records keep accumulating — flush again for a
+    later snapshot. *)

@@ -34,6 +34,20 @@ let percentile xs p =
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end
 
+let percentile_nearest xs p =
+  let n = Array.length xs in
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile_nearest: p out of range";
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    (* nearest-rank: rank = ceil(p/100 * n), 1-based; clamp into [1, n] so
+       p = 0 returns the minimum and p = 100 (or any tiny n) the maximum *)
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    sorted.(rank - 1)
+  end
+
 let minimum xs = Array.fold_left min xs.(0) xs
 
 let maximum xs = Array.fold_left max xs.(0) xs

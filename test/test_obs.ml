@@ -12,6 +12,10 @@ module Lifecycle = Agp_obs.Lifecycle
 module Timeline = Agp_obs.Timeline
 module Report = Agp_obs.Report
 module Diff = Agp_obs.Diff
+module Window = Agp_obs.Window
+module Telemetry = Agp_obs.Telemetry
+module Log = Agp_obs.Log
+module Span = Agp_obs.Span
 module Accelerator = Agp_hw.Accelerator
 module Config = Agp_hw.Config
 module Memory = Agp_hw.Memory
@@ -422,9 +426,11 @@ let test_json_fuzz_never_raises () =
 let test_metrics_percentile () =
   let reg = Metrics.create () in
   let h = Metrics.histogram reg "lat" ~buckets:[| 10; 20 |] in
-  (match Metrics.percentile h 50.0 with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "percentile of empty histogram accepted");
+  (* total on empty: 0.0, never an exception — the serve scrape path
+     renders percentiles of histograms that may not have seen traffic *)
+  check (Alcotest.float 1e-6) "empty histogram percentile is 0" 0.0
+    (Metrics.percentile h 50.0);
+  check (Alcotest.float 1e-6) "empty histogram p99 is 0" 0.0 (Metrics.percentile h 99.0);
   for _ = 1 to 10 do
     Metrics.observe h 5
   done;
@@ -449,6 +455,189 @@ let test_metrics_percentile () =
   let text = Metrics.to_text reg in
   check Alcotest.bool "to_text shows percentiles" true
     (Astring.String.is_infix ~affix:"p50=" text)
+
+(* --- rolling windows --- *)
+
+let test_window_observe_and_prune () =
+  let w = Window.create ~span_s:10.0 "lat" in
+  check Alcotest.string "name" "lat" (Window.name w);
+  check (Alcotest.float 1e-9) "span" 10.0 (Window.span_s w);
+  Window.observe w ~now:0.0 1.0;
+  Window.observe w ~now:1.0 2.0;
+  Window.observe w ~now:2.0 3.0;
+  let s = Window.summary w ~now:2.0 in
+  check Alcotest.int "all live" 3 s.Window.s_count;
+  check Alcotest.int "lifetime" 3 s.Window.s_lifetime;
+  check (Alcotest.float 1e-9) "mean" 2.0 s.Window.s_mean;
+  check (Alcotest.float 1e-9) "p50" 2.0 s.Window.s_p50;
+  check (Alcotest.float 1e-9) "max" 3.0 s.Window.s_max;
+  check (Alcotest.float 1e-9) "rate = count/span" 0.3 s.Window.s_rate_per_sec;
+  (* advance past the horizon of the first two samples: only t=2 remains *)
+  let s = Window.summary w ~now:11.5 in
+  check Alcotest.int "pruned to window" 1 s.Window.s_count;
+  check Alcotest.int "lifetime counts expired" 3 s.Window.s_lifetime;
+  check (Alcotest.float 1e-9) "survivor value" 3.0 s.Window.s_p50;
+  (* everything expired: summary is total, all zeros *)
+  let s = Window.summary w ~now:100.0 in
+  check Alcotest.int "empty window" 0 s.Window.s_count;
+  check (Alcotest.float 1e-9) "empty p50 is 0" 0.0 s.Window.s_p50;
+  check (Alcotest.float 1e-9) "empty p99 is 0" 0.0 s.Window.s_p99;
+  check (Alcotest.float 1e-9) "empty max is 0" 0.0 s.Window.s_max
+
+let test_window_cap_drops_oldest () =
+  let w = Window.create ~max_samples:4 ~span_s:60.0 "capped" in
+  for i = 1 to 6 do
+    Window.observe w ~now:(float_of_int i) (float_of_int i)
+  done;
+  let s = Window.summary w ~now:6.0 in
+  check Alcotest.int "capped live count" 4 s.Window.s_count;
+  check Alcotest.int "evictions counted" 2 s.Window.s_dropped;
+  check Alcotest.int "lifetime counts evicted" 6 s.Window.s_lifetime;
+  (* the oldest samples went first: live set is 3..6 *)
+  check (Alcotest.float 1e-9) "p50 of survivors" 4.0 s.Window.s_p50;
+  check (Alcotest.float 1e-9) "max survives" 6.0 s.Window.s_max;
+  (match Window.create ~span_s:0.0 "bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "span_s = 0 accepted");
+  match Window.summary_json (Window.summary w ~now:6.0) with
+  | Json.Obj kv -> check Alcotest.bool "summary json has p99" true (List.mem_assoc "p99" kv)
+  | _ -> Alcotest.fail "summary_json not an object"
+
+(* --- telemetry / Prometheus exposition --- *)
+
+let test_telemetry_sanitize () =
+  check Alcotest.string "dots become underscores" "serve_queue_ms"
+    (Telemetry.sanitize "serve.queue_ms");
+  (* digits are legal anywhere but position 0 *)
+  check Alcotest.string "leading digit escaped" "_9lives" (Telemetry.sanitize "99lives");
+  check Alcotest.string "colon legal" "a:b" (Telemetry.sanitize "a:b");
+  check Alcotest.string "already legal untouched" "ok_name" (Telemetry.sanitize "ok_name")
+
+let test_telemetry_prometheus () =
+  let t = Telemetry.create () in
+  let reg = Telemetry.registry t in
+  let c = Metrics.counter reg "serve.requests_total" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.set (Metrics.gauge reg "accel.util") 2.5;
+  let h = Metrics.histogram reg "exec.cycles" ~buckets:[| 10; 20 |] in
+  List.iter (Metrics.observe h) [ 5; 15; 1000 ];
+  let w = Telemetry.window t ~span_s:60.0 "serve.latency_ms" in
+  List.iter (fun v -> Window.observe w ~now:1.0 v) [ 1.0; 2.0; 3.0; 4.0 ];
+  let text = Telemetry.to_prometheus t ~now:1.0 in
+  let has affix name =
+    check Alcotest.bool name true (Astring.String.is_infix ~affix text)
+  in
+  has "# TYPE serve_requests_total counter\nserve_requests_total 3\n" "counter line";
+  has "# TYPE accel_util gauge\naccel_util 2.5\n" "gauge line";
+  has "# TYPE exec_cycles histogram\n" "histogram type line";
+  (* buckets are cumulative and end at +Inf *)
+  has "exec_cycles_bucket{le=\"10\"} 1\n" "first bucket";
+  has "exec_cycles_bucket{le=\"20\"} 2\n" "cumulative second bucket";
+  has "exec_cycles_bucket{le=\"+Inf\"} 3\n" "+Inf bucket";
+  has "exec_cycles_count 3\n" "histogram count";
+  (* windows render as summaries with quantile labels plus gauges *)
+  has "# TYPE serve_latency_ms summary\n" "summary type line";
+  has "serve_latency_ms{quantile=\"0.5\"} 2\n" "window p50";
+  has "serve_latency_ms{quantile=\"0.99\"} 4\n" "window p99 = max at small n";
+  has "serve_latency_ms_count 4\n" "window lifetime count";
+  has "serve_latency_ms_window_max 4\n" "window max gauge";
+  has "serve_latency_ms_window_rate_per_sec" "window rate gauge";
+  (* find-or-create: same span returns the same window, new span raises *)
+  check Alcotest.bool "find-or-create returns same window" true
+    (Telemetry.window t ~span_s:60.0 "serve.latency_ms" == w);
+  (match Telemetry.window t ~span_s:30.0 "serve.latency_ms" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "span mismatch accepted");
+  match Telemetry.to_json t ~now:1.0 with
+  | Json.Obj kv ->
+      check Alcotest.bool "json has metrics + windows" true
+        (List.mem_assoc "metrics" kv && List.mem_assoc "windows" kv)
+  | _ -> Alcotest.fail "to_json not an object"
+
+(* --- structured NDJSON logging --- *)
+
+let test_log_ndjson () =
+  let path = Filename.temp_file "agp_log" ".ndjson" in
+  let oc = open_out path in
+  let log = Log.create ~level:Log.Info ~clock:(fun () -> 42.5) ~out:oc () in
+  check Alcotest.bool "info enabled" true (Log.enabled log Log.Info);
+  check Alcotest.bool "debug filtered" false (Log.enabled log Log.Debug);
+  Log.debug log "dropped";
+  Log.info log ~req:"r1" ~fields:[ ("shard", Json.Int 2); ("msg", Json.String "shadow") ]
+    "request executed";
+  Log.warn log "plain";
+  Log.set_level log Log.Debug;
+  Log.debug log "now visible";
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check Alcotest.int "three lines (debug filtered until enabled)" 3 (List.length lines);
+  let parsed =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok (Json.Obj kv) -> kv
+        | Ok _ -> Alcotest.failf "log line not an object: %s" l
+        | Error e -> Alcotest.failf "log line not JSON (%s): %s" e l)
+      lines
+  in
+  let first = List.nth parsed 0 in
+  check Alcotest.bool "ts from injected clock" true
+    (List.assoc "ts" first = Json.Float 42.5);
+  check Alcotest.bool "level" true (List.assoc "level" first = Json.String "info");
+  check Alcotest.bool "msg wins over shadowing field" true
+    (List.assoc "msg" first = Json.String "request executed");
+  check Alcotest.bool "req correlation" true (List.assoc "req" first = Json.String "r1");
+  check Alcotest.bool "free field kept" true (List.assoc "shard" first = Json.Int 2);
+  let second = List.nth parsed 1 in
+  check Alcotest.bool "no req when absent" true (not (List.mem_assoc "req" second));
+  check Alcotest.bool "warn level name" true (List.assoc "level" second = Json.String "warn");
+  let third = List.nth parsed 2 in
+  check Alcotest.bool "debug after set_level" true
+    (List.assoc "level" third = Json.String "debug");
+  (* the null logger drops everything and never raises *)
+  check Alcotest.bool "null disabled" false (Log.enabled Log.null Log.Error);
+  Log.error Log.null ~req:"x" "ignored";
+  (* level parsing accepts the common spellings *)
+  check Alcotest.bool "warning alias" true (Log.level_of_string "Warning" = Ok Log.Warn);
+  check Alcotest.bool "bad level rejected" true
+    (match Log.level_of_string "loud" with Error _ -> true | Ok _ -> false)
+
+(* --- span collector thread-safety (satellite: concurrent shards) --- *)
+
+let test_span_concurrent_hammer () =
+  let t = Span.create () in
+  let domains = 4 and per_domain = 2000 in
+  let phases = [| "queue"; "build"; "execute" |] in
+  let worker d =
+    Domain.spawn (fun () ->
+        for i = 0 to per_domain - 1 do
+          let phase = phases.((d + i) mod Array.length phases) in
+          Span.record t ~phase (float_of_int ((i mod 10) + 1))
+        done)
+  in
+  List.iter Domain.join (List.init domains worker);
+  let total =
+    Array.fold_left (fun acc phase -> acc + Span.count t ~phase) 0 phases
+  in
+  check Alcotest.int "no recorded duration lost under concurrency" (domains * per_domain) total;
+  let summaries = Span.summarize t in
+  check Alcotest.int "all phases present" (Array.length phases) (List.length summaries);
+  List.iter
+    (fun s ->
+      check Alcotest.bool "mean within recorded range" true
+        (s.Span.sp_mean_ms >= 1.0 && s.Span.sp_mean_ms <= 10.0);
+      check (Alcotest.float 1e-9) "max is the largest recorded" 10.0 s.Span.sp_max_ms)
+    summaries
 
 (* --- task lifecycle spans --- *)
 
@@ -594,8 +783,16 @@ let test_report_envelope_validation () =
   bad "[1,2]" "not a JSON object";
   bad "{\"kind\":\"x\",\"app\":\"y\"}" "schema_version";
   bad "{\"schema_version\":99,\"kind\":\"x\",\"app\":\"y\"}" "unsupported schema_version 99";
+  bad "{\"schema_version\":99,\"kind\":\"x\",\"app\":\"y\"}"
+    (Printf.sprintf "reads versions %d..%d" Report.min_readable_version Report.schema_version);
+  bad "{\"schema_version\":0,\"kind\":\"x\",\"app\":\"y\"}" "unsupported schema_version 0";
   bad "{\"schema_version\":1,\"app\":\"y\"}" "kind";
-  bad "{\"schema_version\":1" "line 1"
+  bad "{\"schema_version\":1" "line 1";
+  (* v2 still reads v1 documents — old goldens and archived reports stay usable *)
+  check Alcotest.bool "current version is 2" true (Report.schema_version = 2);
+  match Report.of_string "{\"schema_version\":1,\"kind\":\"x\",\"app\":\"y\"}" with
+  | Ok doc -> check Alcotest.string "v1 doc readable" "x" doc.Report.kind
+  | Error e -> Alcotest.failf "v1 document rejected: %s" e
 
 let test_report_flatten () =
   let doc =
@@ -672,6 +869,28 @@ let test_diff_directions_and_shape () =
   check Alcotest.bool "render flags the regression" true
     (Astring.String.is_infix ~affix:"REGRESSED" table)
 
+let test_diff_cycles_per_sec_higher_better () =
+  (* "cycles_per_sec" must match the higher-is-better token before the
+     lower-is-better "cycles" token: a throughput drop is the regression *)
+  let mk v =
+    Report.v ~kind:"t" ~app:"a"
+      ~sections:[ ("m", Json.Obj [ ("sim_cycles_per_sec", Json.Float v) ]) ]
+      ()
+  in
+  let fast = mk 4.0e6 and slow = mk 1.0e6 in
+  let r = Diff.compare fast slow in
+  check Alcotest.bool "throughput drop regresses" true (Diff.regressed r);
+  check Alcotest.bool "keyed on sim_cycles_per_sec" true
+    (List.exists
+       (fun e -> e.Diff.key = "m.sim_cycles_per_sec" && e.Diff.status = Diff.Regressed)
+       r.Diff.entries);
+  let r' = Diff.compare slow fast in
+  check Alcotest.int "throughput gain never gates" 0 r'.Diff.regressions;
+  check Alcotest.bool "gain reads as improvement" true
+    (List.exists
+       (fun e -> e.Diff.key = "m.sim_cycles_per_sec" && e.Diff.status = Diff.Improved)
+       r'.Diff.entries)
+
 (* --- CLI diff exit codes (0 clean / 1 regression / 2 malformed) --- *)
 
 let cli_exe = Filename.concat (Filename.concat Filename.parent_dir_name "bin") "agp_cli.exe"
@@ -742,6 +961,20 @@ let () =
           Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
           Alcotest.test_case "percentile" `Quick test_metrics_percentile;
         ] );
+      ( "window",
+        [
+          Alcotest.test_case "observe and prune" `Quick test_window_observe_and_prune;
+          Alcotest.test_case "cap drops oldest" `Quick test_window_cap_drops_oldest;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "name sanitization" `Quick test_telemetry_sanitize;
+          Alcotest.test_case "prometheus exposition" `Quick test_telemetry_prometheus;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "ndjson lines" `Quick test_log_ndjson ] );
+      ( "span",
+        [ Alcotest.test_case "concurrent hammer" `Quick test_span_concurrent_hammer ] );
       ( "sink",
         [
           Alcotest.test_case "null" `Quick test_sink_null;
@@ -790,6 +1023,8 @@ let () =
           Alcotest.test_case "degraded bandwidth regresses" `Quick
             test_diff_degraded_bandwidth_regresses;
           Alcotest.test_case "directions and shape" `Quick test_diff_directions_and_shape;
+          Alcotest.test_case "cycles/sec higher-better" `Quick
+            test_diff_cycles_per_sec_higher_better;
           Alcotest.test_case "cli exit codes" `Quick test_cli_diff_exit_codes;
         ] );
       ( "explore_export",

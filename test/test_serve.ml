@@ -32,6 +32,7 @@ let all_requests =
     Protocol.Hello { Protocol.client = "t"; version = "0.0"; protocol = 1 };
     Protocol.Run sample_run;
     Protocol.Stats;
+    Protocol.Metrics;
     Protocol.Ping;
     Protocol.Shutdown;
   ]
@@ -99,6 +100,8 @@ let all_responses =
             };
           ];
       };
+    Protocol.Metrics_reply
+      { text = "# TYPE serve_requests_total counter\nserve_requests_total 3\n" };
     Protocol.Pong;
     Protocol.Shutdown_ack { completed = 42 };
     Protocol.Error_reply
@@ -300,7 +303,7 @@ let test_ping_and_hello () =
   line (Server.handle_line t ~respond {|{"type":"ping"}|});
   line
     (Server.handle_line t ~respond
-       {|{"type":"hello","client":"t","version":"0","protocol":1}|});
+       {|{"type":"hello","client":"t","version":"0","protocol":2}|});
   line
     (Server.handle_line t ~respond
        {|{"type":"hello","client":"t","version":"0","protocol":99}|});
@@ -406,6 +409,162 @@ let test_shutdown_request_drains () =
   | [ Protocol.Overloaded { reason = Protocol.Draining; _ } ] -> ()
   | _ -> Alcotest.fail "post-shutdown request should shed as Draining"
 
+let test_metrics_request () =
+  let t = Server.create () in
+  let respond, wait_for, _ = collector () in
+  line
+    (Server.handle_line t ~respond
+       {|{"type":"run","id":"m1","app":"spec-bfs","scale":"small","backend":"simulator"}|});
+  (match wait_for (function Protocol.Result _ -> true | _ -> false) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "request never completed");
+  let respond2, _, all2 = collector () in
+  line (Server.handle_line t ~respond:respond2 {|{"type":"metrics"}|});
+  (match all2 () with
+  | [ Protocol.Metrics_reply { text } ] ->
+      let has affix name =
+        check Alcotest.bool name true (Astring.String.is_infix ~affix text)
+      in
+      has "# TYPE serve_requests_accepted_total counter\nserve_requests_accepted_total 1\n"
+        "accepted counter scraped";
+      has "serve_requests_completed_total 1\n" "completed counter scraped";
+      has "serve_requests_shed_total 0\n" "shed counter scraped";
+      (* point-in-time gauges are refreshed at scrape *)
+      has "# TYPE serve_queue_depth gauge\n" "queue depth gauge";
+      has "# TYPE serve_uptime_seconds gauge\n" "uptime gauge";
+      (* rolling windows render as summaries; one completion = one sample *)
+      has "# TYPE serve_latency_ms summary\n" "latency window";
+      has "serve_latency_ms_count 1\n" "latency window saw the request";
+      has "serve_latency_ms{quantile=\"0.99\"}" "latency p99 line";
+      has "serve_exec_ms_count 1\n" "exec window saw the request"
+  | _ -> Alcotest.fail "expected a single Metrics_reply");
+  (* the same exposition backs agp stats via Server.prometheus *)
+  check Alcotest.bool "prometheus accessor agrees" true
+    (Astring.String.is_infix ~affix:"serve_requests_completed_total"
+       (Server.prometheus t));
+  Server.shutdown t
+
+let test_request_trace_capture () =
+  let dir = Filename.temp_file "agp_trace" "" in
+  Sys.remove dir;
+  let log_path = Filename.temp_file "agp_servelog" ".ndjson" in
+  let log_oc = open_out log_path in
+  let log =
+    Agp_obs.Log.create ~level:Agp_obs.Log.Debug ~clock:Unix.gettimeofday ~out:log_oc ()
+  in
+  let t = Server.create ~log ~trace_dir:dir () in
+  (match Server.tracer t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "trace_dir did not enable the tracer");
+  let respond, wait_for, _ = collector () in
+  line
+    (Server.handle_line t ~respond
+       {|{"type":"run","id":"t1","app":"spec-bfs","scale":"small","backend":"simulator","obs":true}|});
+  (match wait_for (function Protocol.Result o -> o.Protocol.out_id = "t1" | _ -> false) with
+  | Some (Protocol.Result o) ->
+      (* the obs report carries the request id in its meta *)
+      (match o.Protocol.report with
+      | Some doc -> begin
+          match Agp_obs.Report.of_json doc with
+          | Ok r ->
+              check Alcotest.bool "report meta carries request id" true
+                (List.assoc_opt "request_id" r.Agp_obs.Report.meta
+                = Some (Json.String "t1"))
+          | Error e -> Alcotest.failf "embedded report invalid: %s" e
+        end
+      | None -> Alcotest.fail "obs report missing")
+  | _ -> Alcotest.fail "no result for traced request");
+  Server.shutdown t;
+  close_out log_oc;
+  (* drain flushed the capture: parse it as a Chrome trace *)
+  let trace_file = Filename.concat dir "serve-trace.json" in
+  check Alcotest.bool "trace file written on drain" true (Sys.file_exists trace_file);
+  let ic = open_in trace_file in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  (match Json.parse body with
+  | Ok (Json.Obj kv) -> begin
+      match List.assoc_opt "traceEvents" kv with
+      | Some (Json.List events) ->
+          let assoc k = function Json.Obj fields -> List.assoc_opt k fields | _ -> None in
+          let slices =
+            List.filter (fun e -> assoc "ph" e = Some (Json.String "X")) events
+          in
+          let phase_names =
+            List.filter_map (fun e -> assoc "name" e) slices
+          in
+          List.iter
+            (fun want ->
+              check Alcotest.bool (Printf.sprintf "trace has %s slice" want) true
+                (List.mem (Json.String want) phase_names))
+            [ "queue"; "build"; "execute" ];
+          List.iter
+            (fun e ->
+              check Alcotest.bool "slice categorized as request" true
+                (assoc "cat" e = Some (Json.String "request"));
+              (match assoc "args" e with
+              | Some (Json.Obj args) ->
+                  check Alcotest.bool "slice args carry the request id" true
+                    (List.assoc_opt "request" args = Some (Json.String "t1"))
+              | _ -> Alcotest.fail "slice without args");
+              match (assoc "ts" e, assoc "dur" e) with
+              | Some (Json.Int ts), Some (Json.Int dur) ->
+                  check Alcotest.bool "timestamps rebased non-negative" true
+                    (ts >= 0 && dur >= 0)
+              | _ -> Alcotest.fail "slice missing ts/dur")
+            slices;
+          (* one row per request: a thread_name metadata event names it *)
+          check Alcotest.bool "request id names its trace row" true
+            (List.exists
+               (fun e ->
+                 assoc "name" e = Some (Json.String "thread_name")
+                 && (match assoc "args" e with
+                    | Some (Json.Obj args) ->
+                        List.assoc_opt "name" args = Some (Json.String "t1")
+                    | _ -> false))
+               events)
+      | _ -> Alcotest.fail "trace lacks traceEvents"
+    end
+  | Ok _ -> Alcotest.fail "trace root not an object"
+  | Error e -> Alcotest.failf "trace is not valid JSON: %s" e);
+  (* the structured log correlates daemon lines with the same request id *)
+  let ic = open_in log_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let logged_req =
+    List.exists
+      (fun l ->
+        match Json.parse l with
+        | Ok (Json.Obj kv) -> List.assoc_opt "req" kv = Some (Json.String "t1")
+        | _ -> false)
+      !lines
+  in
+  check Alcotest.bool "log lines carry the request id" true logged_req;
+  check Alcotest.bool "every log line is one JSON object" true
+    (List.for_all
+       (fun l -> match Json.parse l with Ok (Json.Obj _) -> true | _ -> false)
+       !lines);
+  Sys.remove log_path;
+  Sys.remove trace_file;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+(* --- loadgen percentile totality (satellite) --- *)
+
+let test_loadgen_percentile_tiny () =
+  check (Alcotest.float 1e-9) "no samples is 0" 0.0 (Loadgen.percentile_ms [] 50.0);
+  check (Alcotest.float 1e-9) "no samples p99 is 0" 0.0 (Loadgen.percentile_ms [] 99.0);
+  check (Alcotest.float 1e-9) "n=1 p50" 5.0 (Loadgen.percentile_ms [ 5.0 ] 50.0);
+  check (Alcotest.float 1e-9) "n=1 p99 is the sample" 5.0 (Loadgen.percentile_ms [ 5.0 ] 99.0);
+  check (Alcotest.float 1e-9) "n=2 p50 is the lower" 1.0 (Loadgen.percentile_ms [ 2.0; 1.0 ] 50.0);
+  check (Alcotest.float 1e-9) "n=2 p99 is the max" 2.0 (Loadgen.percentile_ms [ 2.0; 1.0 ] 99.0);
+  check (Alcotest.float 1e-9) "n=3 p50 is the middle" 2.0
+    (Loadgen.percentile_ms [ 3.0; 1.0; 2.0 ] 50.0)
+
 (* --- satellites: backend find UX, version --- *)
 
 let test_unknown_backend_message () =
@@ -432,7 +591,7 @@ let test_version_string () =
   let respond, _, all = collector () in
   line
     (Server.handle_line t ~respond
-       {|{"type":"hello","client":"t","version":"0","protocol":1}|});
+       {|{"type":"hello","client":"t","version":"0","protocol":2}|});
   (match all () with
   | [ Protocol.Hello_ack ack ] ->
       check Alcotest.string "daemon version is the compiled-in one"
@@ -530,6 +689,8 @@ let () =
           Alcotest.test_case "run to completion" `Quick test_run_to_completion;
           Alcotest.test_case "watermark zero sheds" `Quick test_watermark_zero_sheds_everything;
           Alcotest.test_case "shutdown drains" `Quick test_shutdown_request_drains;
+          Alcotest.test_case "metrics exposition" `Quick test_metrics_request;
+          Alcotest.test_case "request trace capture" `Quick test_request_trace_capture;
         ] );
       ( "satellites",
         [
@@ -541,5 +702,6 @@ let () =
         [
           Alcotest.test_case "saturation report shape" `Quick test_saturation_report_shape;
           Alcotest.test_case "diff gates regression" `Quick test_diff_gates_serving_regression;
+          Alcotest.test_case "percentile tiny-n" `Quick test_loadgen_percentile_tiny;
         ] );
     ]

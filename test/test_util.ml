@@ -329,6 +329,29 @@ let test_stats_percentile () =
   check feq "p100" 5.0 (Stats.percentile xs 100.0);
   check feq "p25" 2.0 (Stats.percentile xs 25.0)
 
+let test_stats_percentile_nearest () =
+  (* total at any n: 0 for empty, the sample for n=1, max for high p *)
+  check feq "empty is 0" 0.0 (Stats.percentile_nearest [||] 50.0);
+  check feq "empty p99 is 0" 0.0 (Stats.percentile_nearest [||] 99.0);
+  check feq "n=1 p50" 7.0 (Stats.percentile_nearest [| 7.0 |] 50.0);
+  check feq "n=1 p99" 7.0 (Stats.percentile_nearest [| 7.0 |] 99.0);
+  check feq "n=1 p0" 7.0 (Stats.percentile_nearest [| 7.0 |] 0.0);
+  check feq "n=2 p50 is first" 1.0 (Stats.percentile_nearest [| 2.0; 1.0 |] 50.0);
+  check feq "n=2 p99 is max" 2.0 (Stats.percentile_nearest [| 2.0; 1.0 |] 99.0);
+  check feq "n=2 p0 clamps to min" 1.0 (Stats.percentile_nearest [| 2.0; 1.0 |] 0.0);
+  let xs = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  check feq "unsorted input p50" 3.0 (Stats.percentile_nearest xs 50.0);
+  check feq "p90 of 5" 5.0 (Stats.percentile_nearest xs 90.0);
+  check feq "p100" 5.0 (Stats.percentile_nearest xs 100.0);
+  (* the input array is not mutated (sorts a copy) *)
+  check Alcotest.bool "input untouched" true (xs = [| 5.0; 1.0; 4.0; 2.0; 3.0 |]);
+  (match Stats.percentile_nearest xs 101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p > 100 accepted");
+  match Stats.percentile_nearest xs (-0.5) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p < 0 accepted"
+
 let test_stats_running () =
   let r = Stats.running () in
   List.iter (Stats.observe r) [ 2.0; 4.0; 6.0 ];
@@ -438,6 +461,7 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile nearest-rank" `Quick test_stats_percentile_nearest;
           Alcotest.test_case "running" `Quick test_stats_running;
         ] );
       ( "chart",
