@@ -14,15 +14,12 @@ let liveness_exit = 3
 
 let scale_arg =
   let parse s = Result.map_error (fun e -> `Msg e) (Workloads.scale_of_string s) in
-  let print fmt = function
-    | Workloads.Small -> Format.fprintf fmt "small"
-    | Workloads.Medium -> Format.fprintf fmt "medium"
-    | Workloads.Default -> Format.fprintf fmt "default"
-  in
+  let print fmt s = Format.fprintf fmt "%s" (Workloads.scale_name s) in
   Arg.(
     value
     & opt (conv (parse, print)) Workloads.Default
-    & info [ "scale" ] ~docv:"SCALE" ~doc:"Workload scale: small, medium or default.")
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Workload scale: small, medium, default, large or huge.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
@@ -39,16 +36,12 @@ let fig10_cmd =
      medium rather than the global default *)
   let fig10_scale_arg =
     let parse s = Result.map_error (fun e -> `Msg e) (Workloads.scale_of_string s) in
-    let print fmt = function
-      | Workloads.Small -> Format.fprintf fmt "small"
-      | Workloads.Medium -> Format.fprintf fmt "medium"
-      | Workloads.Default -> Format.fprintf fmt "default"
-    in
+    let print fmt s = Format.fprintf fmt "%s" (Workloads.scale_name s) in
     Arg.(
       value
       & opt (conv (parse, print)) Workloads.Medium
       & info [ "scale" ] ~docv:"SCALE"
-          ~doc:"Workload scale: small, medium or default (default: medium).")
+          ~doc:"Workload scale: small, medium, default, large or huge (default: medium).")
   in
   let run scale seed = Experiments.print_fig10 (Experiments.fig10 ~scale ~seed ()) in
   Cmd.v (Cmd.info "fig10" ~doc:"Figure 10: QPI bandwidth sweep (speedup and pipeline utilization).")
@@ -782,11 +775,7 @@ let loadgen_cmd =
       let spec =
         {
           Serve.Loadgen.app;
-          scale =
-            (match scale with
-            | Workloads.Small -> "small"
-            | Workloads.Medium -> "medium"
-            | Workloads.Default -> "default");
+          scale = Workloads.scale_name scale;
           seed;
           backend;
           tenant;

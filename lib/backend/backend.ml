@@ -170,22 +170,42 @@ let derive_config (app : App_instance.t) (base : Config.t) =
         app.App_instance.kernel_flops;
   }
 
-let simulator ?(config = Config.default) ?(auto_size = true) () =
+(* Event capture for obs reports is ring-bounded so paper-scale runs
+   (millions of tasks) can stay observable without holding the whole
+   event stream; lifecycle summaries tolerate a truncated prefix. *)
+let obs_ring_capacity = 262_144
+
+let simulator ?(engine = Accelerator.Compiled) ?(config = Config.default) ?(auto_size = true) ()
+    =
+  let name =
+    match engine with
+    | Accelerator.Compiled -> "simulator"
+    | Accelerator.Legacy -> "simulator:classic"
+  in
+  let summary =
+    match engine with
+    | Accelerator.Compiled ->
+        "cycle-level model of the synthesized accelerator (Fig. 7), compiled op-array engine"
+    | Accelerator.Legacy ->
+        "cycle-level model of the synthesized accelerator, legacy tree-walking engine"
+  in
   {
-    name = "simulator";
-    summary = "cycle-level model of the synthesized accelerator (Fig. 7)";
+    name;
+    summary;
     capabilities = { timed = true; parallel = true; obs_report = true; validates = true };
     supports = supports_all;
     exec =
       (fun ~obs app ->
         let config = derive_config app config in
         let r = app.App_instance.fresh () in
-        let sink = if obs then Agp_obs.Sink.collect () else Agp_obs.Sink.null in
+        let sink =
+          if obs then Agp_obs.Sink.ring ~capacity:obs_ring_capacity else Agp_obs.Sink.null
+        in
         let timeline = if obs then Some (Agp_obs.Timeline.create ~interval:256 ()) else None in
         let report =
-          Accelerator.run ~config ~auto_size ~sink ?timeline ~spec:app.App_instance.spec
-            ~bindings:r.App_instance.bindings ~state:r.App_instance.state
-            ~initial:r.App_instance.initial ()
+          Accelerator.run ~engine ~config ~auto_size ~sink ?timeline
+            ~spec:app.App_instance.spec ~bindings:r.App_instance.bindings
+            ~state:r.App_instance.state ~initial:r.App_instance.initial ()
         in
         let obs_doc =
           if obs then
@@ -196,7 +216,7 @@ let simulator ?(config = Config.default) ?(auto_size = true) () =
           else None
         in
         {
-          backend_name = "simulator";
+          backend_name = name;
           app_name = app.App_instance.app_name;
           check = r.App_instance.check ();
           seconds = Some report.Accelerator.seconds;
@@ -207,6 +227,9 @@ let simulator ?(config = Config.default) ?(auto_size = true) () =
           final = Some r;
         });
   }
+
+let simulator_classic ?config ?auto_size () =
+  simulator ~engine:Accelerator.Legacy ?config ?auto_size ()
 
 let cpu_backend which =
   let name, summary, is_parallel =
@@ -288,7 +311,16 @@ let opencl =
 (* --- registry --- *)
 
 let all =
-  [ sequential; runtime (); parallel (); simulator (); cpu_1core; cpu_10core; opencl ]
+  [
+    sequential;
+    runtime ();
+    parallel ();
+    simulator ();
+    simulator_classic ();
+    cpu_1core;
+    cpu_10core;
+    opencl;
+  ]
 
 let names = List.map (fun b -> b.name) all
 
@@ -359,7 +391,8 @@ let find name =
   | [ "runtime"; n ] -> Result.map (fun workers -> runtime ~workers ()) (count "runtime" n)
   | [ "parallel" ] -> Ok (parallel ())
   | [ "parallel"; n ] -> Result.map (fun domains -> parallel ~domains ()) (count "parallel" n)
-  | [ "simulator" ] | [ "fpga" ] -> Ok (simulator ())
+  | [ "simulator" ] | [ "fpga" ] | [ "simulator"; "compiled" ] -> Ok (simulator ())
+  | [ "simulator"; "classic" ] -> Ok (simulator_classic ())
   | [ "cpu-1core" ] -> Ok cpu_1core
   | [ "cpu-10core" ] -> Ok cpu_10core
   | [ "opencl" ] -> Ok opencl

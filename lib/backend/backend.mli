@@ -101,10 +101,22 @@ val parallel : ?domains:int -> unit -> t
 (** The OCaml-5-domains runtime (§4.4's pthread option).  Named
     ["parallel"], or ["parallel:N"] for an explicit domain count. *)
 
-val simulator : ?config:Agp_hw.Config.t -> ?auto_size:bool -> unit -> t
+val simulator :
+  ?engine:Agp_hw.Accelerator.engine ->
+  ?config:Agp_hw.Config.t ->
+  ?auto_size:bool ->
+  unit ->
+  t
 (** The cycle-level accelerator model (Fig. 7) on [config] (default
     {!Agp_hw.Config.default}), with {!derive_config} applied per app.
+    [engine] (default [Compiled]) selects the cycle engine and the
+    backend name: ["simulator"] for the compiled op-array engine,
+    ["simulator:classic"] for the legacy tree-walking loop.
     [auto_size] as in {!Agp_hw.Accelerator.run}. *)
+
+val simulator_classic : ?config:Agp_hw.Config.t -> ?auto_size:bool -> unit -> t
+(** {!simulator} pinned to the legacy engine — kept in the registry so
+    the conformance matrix cross-checks both engines every run. *)
 
 val cpu_1core : t
 val cpu_10core : t
@@ -118,8 +130,8 @@ val opencl : t
 
 val all : t list
 (** Default instances of every registered backend, in presentation
-    order: sequential, runtime, parallel, simulator, cpu-1core,
-    cpu-10core, opencl. *)
+    order: sequential, runtime, parallel, simulator,
+    simulator:classic, cpu-1core, cpu-10core, opencl. *)
 
 val names : string list
 

@@ -1,0 +1,379 @@
+(* Spec -> flat op-array compiler for the compiled cycle engine.
+
+   Task-set bodies become one shared instruction array indexed by pc;
+   every instruction carries the pc of its continuation, so executing a
+   task is a tight `match code.(pc)` dispatch with no list traversal and
+   no sharing of `Spec.op` structure.  Expressions and rule conditions
+   compile to postfix bytecode evaluated over preallocated scratch
+   stacks (the bytecode-interpreter idiom: op arrays + mutable frames,
+   no tree-walking).
+
+   The compiler only restructures data — all evaluation semantics
+   (numeric promotion, error strings, out-of-range clause probes) are
+   replicated exactly by the engine so that the compiled engine is
+   cycle- and state-equivalent to the tree-walking one. *)
+
+(* Postfix expression bytecode.  E_param/E_reg appear only in task-body
+   expressions; E_cparam/E_cfield/E_earlier/E_later/E_overlap only in
+   rule conditions.  One evaluator handles both. *)
+type eop =
+  | E_int of int
+  | E_float of float
+  | E_bool of bool
+  | E_param of int (* task payload field *)
+  | E_reg of int * string (* register slot; name kept for the unbound error *)
+  | E_binop of Spec.binop
+  | E_not
+  | E_neg
+  | E_cparam of int (* rule-instance param (out-of-range aborts the clause) *)
+  | E_cfield of int (* event field (out-of-range aborts the clause) *)
+  | E_earlier
+  | E_later
+  | E_overlap of int * int
+
+type inst =
+  | I_let of { dst : int; e : eop array; next : int }
+  | I_load of { dst : int; arr : int; addr : eop array; next : int }
+  | I_store of { arr : int; addr : eop array; v : eop array; next : int }
+  | I_push of { set : int; args : eop array array; next : int }
+  | I_push_iter of {
+      set : int;
+      lo : eop array;
+      hi : eop array;
+      ivar : int;
+      args : eop array array;
+      next : int;
+    }
+  | I_alloc of { site : int; handle : int; rule : int; args : eop array array; next : int }
+  | I_await of { dst : int; handle : int; handle_name : string; next : int }
+  | I_emit of { label : int; args : eop array array; next : int }
+  | I_if of { c : eop array; then_pc : int; else_pc : int }
+  | I_abort
+  | I_retry
+  | I_prim of { dsts : int array; prim : int; name : string; args : eop array array; next : int }
+  | I_commit (* empty continuation: the task commits *)
+
+type cclause = {
+  (* 0 = activated(set), 1 = reached(set,label), 2 = min_changed *)
+  c_kind : int;
+  c_set : int; (* source task-set slot, -1 for min_changed *)
+  c_label : int; (* label id for reached, -1 otherwise *)
+  c_cond : eop array;
+  c_return : bool option; (* None = Decrement *)
+}
+
+type crule = {
+  r_name : string;
+  r_nparams : int;
+  r_clauses : cclause array;
+  r_otherwise : bool;
+  r_min_waiting : bool; (* otherwise scope *)
+  r_counted : bool;
+  r_has_decrement : bool;
+}
+
+type program = {
+  code : inst array;
+  entry : int array; (* per task-set slot *)
+  n_sets : int;
+  set_names : string array;
+  set_for_each : bool array;
+  set_arity : int array;
+  max_arity : int;
+  max_regs : int;
+  max_handles : int;
+  n_sites : int; (* static Alloc sites across all sets *)
+  rules : crule array;
+  labels : string array;
+  array_names : string array; (* state arrays referenced by Load/Store *)
+  prim_names : string array;
+  max_stack : int; (* expression scratch-stack depth *)
+  max_push_args : int;
+  max_rule_params : int; (* widest Alloc argument list *)
+  max_event_fields : int; (* widest event field vector (payloads + emits) *)
+  has_counted : bool;
+}
+
+(* --- interning --- *)
+
+type 'a interner = {
+  mutable names : string list; (* reverse order *)
+  tbl : (string, int) Hashtbl.t;
+}
+
+let interner () = { names = []; tbl = Hashtbl.create 8 }
+
+let intern t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length t.tbl in
+      Hashtbl.add t.tbl name i;
+      t.names <- name :: t.names;
+      i
+
+let interned t = Array.of_list (List.rev t.names)
+
+(* --- compilation --- *)
+
+let compile (spec : Spec.t) : program =
+  let sets = Array.of_list spec.Spec.task_sets in
+  let n_sets = Array.length sets in
+  let set_slot name = Spec.task_set_slot spec name in
+  let arrays = interner () in
+  let labels = interner () in
+  let prims = interner () in
+  let code = ref [] in
+  let n_code = ref 0 in
+  let emit inst =
+    code := inst :: !code;
+    incr n_code;
+    !n_code - 1
+  in
+  let commit_pc = emit I_commit in
+  assert (commit_pc = 0);
+  let max_stack = ref 1 in
+  let max_push_args = ref 0 in
+  let max_rule_params = ref 0 in
+  let n_sites = ref 0 in
+  (* expression -> postfix, tracking stack depth *)
+  let compile_expr regs e =
+    let out = ref [] in
+    let rec go depth (e : Spec.expr) =
+      let d1 =
+        match e with
+        | Spec.Const (Value.Int n) ->
+            out := E_int n :: !out;
+            depth + 1
+        | Spec.Const (Value.Float x) ->
+            out := E_float x :: !out;
+            depth + 1
+        | Spec.Const (Value.Bool b) ->
+            out := E_bool b :: !out;
+            depth + 1
+        | Spec.Param i ->
+            out := E_param i :: !out;
+            depth + 1
+        | Spec.Var name ->
+            out := E_reg (intern regs name, name) :: !out;
+            depth + 1
+        | Spec.Binop (op, a, b) ->
+            let da = go depth a in
+            let _db = go da b in
+            out := E_binop op :: !out;
+            da
+        | Spec.Not e ->
+            let d = go depth e in
+            out := E_not :: !out;
+            d
+        | Spec.Neg e ->
+            let d = go depth e in
+            out := E_neg :: !out;
+            d
+      in
+      if d1 > !max_stack then max_stack := d1;
+      d1
+    in
+    ignore (go 0 e);
+    Array.of_list (List.rev !out)
+  in
+  let compile_exprs regs es =
+    let a = Array.of_list (List.map (compile_expr regs) es) in
+    if Array.length a > !max_push_args then max_push_args := Array.length a;
+    a
+  in
+  (* per-set register and handle allocation happens while compiling the
+     body: first occurrence (read or write) claims the slot *)
+  let max_regs = ref 0 and max_handles = ref 0 in
+  let compile_body (ts : Spec.task_set) =
+    let regs = interner () in
+    let handles = interner () in
+    let rec seq ops ~next =
+      match ops with
+      | [] -> next
+      | op :: rest ->
+          let next = seq rest ~next in
+          let pc =
+            match (op : Spec.op) with
+            | Spec.Let (v, e) ->
+                let e = compile_expr regs e in
+                emit (I_let { dst = intern regs v; e; next })
+            | Spec.Load (v, arr, addr) ->
+                let addr = compile_expr regs addr in
+                emit (I_load { dst = intern regs v; arr = intern arrays arr; addr; next })
+            | Spec.Store (arr, addr, v) ->
+                let addr = compile_expr regs addr in
+                let v = compile_expr regs v in
+                emit (I_store { arr = intern arrays arr; addr; v; next })
+            | Spec.Push (set, payload) ->
+                emit (I_push { set = set_slot set; args = compile_exprs regs payload; next })
+            | Spec.Push_iter (set, lo, hi, ivar, payload) ->
+                let lo = compile_expr regs lo and hi = compile_expr regs hi in
+                let ivar = intern regs ivar in
+                emit
+                  (I_push_iter
+                     { set = set_slot set; lo; hi; ivar; args = compile_exprs regs payload; next })
+            | Spec.Alloc (handle, rule_name, params) ->
+                let rule =
+                  let rec find i = function
+                    | [] -> invalid_arg ("Opcode: unknown rule " ^ rule_name)
+                    | (r : Spec.rule) :: _ when r.Spec.rule_name = rule_name -> i
+                    | _ :: rest -> find (i + 1) rest
+                  in
+                  find 0 spec.Spec.rules
+                in
+                let site = !n_sites in
+                incr n_sites;
+                if List.length params > !max_rule_params then
+                  max_rule_params := List.length params;
+                emit
+                  (I_alloc
+                     {
+                       site;
+                       handle = intern handles handle;
+                       rule;
+                       args = compile_exprs regs params;
+                       next;
+                     })
+            | Spec.Await (dst, handle) ->
+                emit
+                  (I_await
+                     { dst = intern regs dst; handle = intern handles handle; handle_name = handle; next })
+            | Spec.Emit (label, fields) ->
+                emit (I_emit { label = intern labels label; args = compile_exprs regs fields; next })
+            | Spec.If (c, a, b) ->
+                let c = compile_expr regs c in
+                let else_pc = seq b ~next in
+                let then_pc = seq a ~next in
+                emit (I_if { c; then_pc; else_pc })
+            | Spec.Abort -> emit I_abort
+            | Spec.Retry -> emit I_retry
+            | Spec.Prim (dsts, name, args) ->
+                emit
+                  (I_prim
+                     {
+                       dsts = Array.of_list (List.map (intern regs) dsts);
+                       prim = intern prims name;
+                       name;
+                       args = compile_exprs regs args;
+                       next;
+                     })
+          in
+          pc
+    in
+    let entry = seq ts.Spec.body ~next:commit_pc in
+    if Hashtbl.length regs.tbl > !max_regs then max_regs := Hashtbl.length regs.tbl;
+    if Hashtbl.length handles.tbl > !max_handles then max_handles := Hashtbl.length handles.tbl;
+    entry
+  in
+  let entry = Array.map compile_body sets in
+  (* rules: conditions compile against the same postfix machine *)
+  let compile_cond c =
+    let out = ref [] in
+    let rec go depth (c : Spec.cond) =
+      let d1 =
+        match c with
+        | Spec.CConst b ->
+            out := E_bool b :: !out;
+            depth + 1
+        | Spec.CParam i ->
+            out := E_cparam i :: !out;
+            depth + 1
+        | Spec.CField i ->
+            out := E_cfield i :: !out;
+            depth + 1
+        | Spec.CEarlier ->
+            out := E_earlier :: !out;
+            depth + 1
+        | Spec.CLater ->
+            out := E_later :: !out;
+            depth + 1
+        | Spec.CBinop (op, a, b) ->
+            let da = go depth a in
+            let _db = go da b in
+            out := E_binop op :: !out;
+            da
+        | Spec.CNot c ->
+            let d = go depth c in
+            out := E_not :: !out;
+            d
+        | Spec.COverlap (p, f) ->
+            out := E_overlap (p, f) :: !out;
+            depth + 1
+      in
+      if d1 > !max_stack then max_stack := d1;
+      d1
+    in
+    ignore (go 0 c);
+    Array.of_list (List.rev !out)
+  in
+  let rules =
+    Array.of_list
+      (List.map
+         (fun (r : Spec.rule) ->
+           let clauses =
+             Array.of_list
+               (List.map
+                  (fun (c : Spec.clause) ->
+                    let c_kind, c_set, c_label =
+                      match c.Spec.on with
+                      | Spec.On_activated s -> (0, set_slot s, -1)
+                      | Spec.On_reached (s, l) -> (1, set_slot s, intern labels l)
+                      | Spec.On_min_changed -> (2, -1, -1)
+                    in
+                    {
+                      c_kind;
+                      c_set;
+                      c_label;
+                      c_cond = compile_cond c.Spec.condition;
+                      c_return =
+                        (match c.Spec.action with
+                        | Spec.Return_bool b -> Some b
+                        | Spec.Decrement -> None);
+                    })
+                  r.Spec.clauses)
+           in
+           {
+             r_name = r.Spec.rule_name;
+             r_nparams = r.Spec.n_params;
+             r_clauses = clauses;
+             r_otherwise = r.Spec.otherwise;
+             r_min_waiting = (r.Spec.scope = Spec.Min_waiting);
+             r_counted = r.Spec.counted;
+             r_has_decrement =
+               Array.exists (fun c -> c.c_return = None) clauses;
+           })
+         spec.Spec.rules)
+  in
+  let set_arity = Array.map (fun ts -> ts.Spec.arity) sets in
+  let max_arity = Array.fold_left max 1 set_arity in
+  let max_event_fields =
+    let m = ref max_arity in
+    Array.iter
+      (function
+        | I_emit { args; _ } -> if Array.length args > !m then m := Array.length args
+        | _ -> ())
+      (Array.of_list !code);
+    !m
+  in
+  {
+    code = Array.of_list (List.rev !code);
+    entry;
+    n_sets;
+    set_names = Array.map (fun ts -> ts.Spec.ts_name) sets;
+    set_for_each = Array.map (fun ts -> ts.Spec.ts_order = Spec.For_each) sets;
+    set_arity;
+    max_arity;
+    max_regs = max 1 !max_regs;
+    max_handles = max 1 !max_handles;
+    n_sites = !n_sites;
+    rules;
+    labels = interned labels;
+    array_names = interned arrays;
+    prim_names = interned prims;
+    max_stack = !max_stack + 1;
+    max_push_args = !max_push_args;
+    max_rule_params = max 1 !max_rule_params;
+    max_event_fields = max 1 max_event_fields;
+    has_counted = List.exists (fun (r : Spec.rule) -> r.Spec.counted) spec.Spec.rules;
+  }

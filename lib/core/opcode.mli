@@ -1,0 +1,95 @@
+(** Spec → flat op-array compiler for the compiled cycle engine.
+
+    Task-set bodies compile into one shared instruction array indexed
+    by pc; every instruction embeds the pc of its continuation, so
+    executing a task is a `match code.(pc)` dispatch with no list
+    traversal.  Expressions and rule conditions become postfix bytecode
+    evaluated over preallocated scratch stacks.  Variables, handles,
+    state arrays, event labels and prim names are all interned to dense
+    integer ids so the engine's hot state can live in flat int arrays.
+
+    The compiler changes representation only: evaluation semantics
+    (numeric promotion, division checks, error strings, out-of-range
+    clause probes) are replicated by the engine so that compiled
+    execution is cycle- and state-equivalent to {!Engine}. *)
+
+type eop =
+  | E_int of int
+  | E_float of float
+  | E_bool of bool
+  | E_param of int  (** task payload field *)
+  | E_reg of int * string  (** register slot; name kept for the unbound error *)
+  | E_binop of Spec.binop
+  | E_not
+  | E_neg
+  | E_cparam of int  (** rule-instance param (out-of-range aborts the clause) *)
+  | E_cfield of int  (** event field (out-of-range aborts the clause) *)
+  | E_earlier
+  | E_later
+  | E_overlap of int * int
+
+type inst =
+  | I_let of { dst : int; e : eop array; next : int }
+  | I_load of { dst : int; arr : int; addr : eop array; next : int }
+  | I_store of { arr : int; addr : eop array; v : eop array; next : int }
+  | I_push of { set : int; args : eop array array; next : int }
+  | I_push_iter of {
+      set : int;
+      lo : eop array;
+      hi : eop array;
+      ivar : int;
+      args : eop array array;
+      next : int;
+    }
+  | I_alloc of { site : int; handle : int; rule : int; args : eop array array; next : int }
+  | I_await of { dst : int; handle : int; handle_name : string; next : int }
+  | I_emit of { label : int; args : eop array array; next : int }
+  | I_if of { c : eop array; then_pc : int; else_pc : int }
+  | I_abort
+  | I_retry
+  | I_prim of { dsts : int array; prim : int; name : string; args : eop array array; next : int }
+  | I_commit  (** empty continuation: the task commits *)
+
+type cclause = {
+  c_kind : int;  (** 0 = activated(set), 1 = reached(set,label), 2 = min_changed *)
+  c_set : int;  (** source task-set slot, -1 for min_changed *)
+  c_label : int;  (** label id for reached, -1 otherwise *)
+  c_cond : eop array;
+  c_return : bool option;  (** None = Decrement *)
+}
+
+type crule = {
+  r_name : string;
+  r_nparams : int;
+  r_clauses : cclause array;
+  r_otherwise : bool;
+  r_min_waiting : bool;  (** otherwise scope is [Min_waiting] *)
+  r_counted : bool;
+  r_has_decrement : bool;
+}
+
+type program = {
+  code : inst array;
+  entry : int array;  (** per task-set slot *)
+  n_sets : int;
+  set_names : string array;
+  set_for_each : bool array;
+  set_arity : int array;
+  max_arity : int;
+  max_regs : int;
+  max_handles : int;
+  n_sites : int;  (** static Alloc sites across all sets *)
+  rules : crule array;
+  labels : string array;
+  array_names : string array;  (** state arrays referenced by Load/Store *)
+  prim_names : string array;
+  max_stack : int;  (** expression scratch-stack depth *)
+  max_push_args : int;
+  max_rule_params : int;  (** widest Alloc argument list *)
+  max_event_fields : int;  (** widest event field vector (payloads + emits) *)
+  has_counted : bool;
+}
+
+val compile : Spec.t -> program
+(** Compile a validated spec.  @raise Invalid_argument on an Alloc of a
+    rule the spec does not define (also caught by {!Spec.validate}). *)

@@ -4,17 +4,23 @@ type scale =
   | Small
   | Medium
   | Default
+  | Large
+  | Huge
 
 let scale_of_string = function
   | "small" -> Ok Small
   | "medium" -> Ok Medium
   | "default" -> Ok Default
-  | s -> Error (Printf.sprintf "unknown scale %S (use small|medium|default)" s)
+  | "large" -> Ok Large
+  | "huge" -> Ok Huge
+  | s -> Error (Printf.sprintf "unknown scale %S (use small|medium|default|large|huge)" s)
 
 let scale_name = function
   | Small -> "small"
   | Medium -> "medium"
   | Default -> "default"
+  | Large -> "large"
+  | Huge -> "huge"
 
 let bfs_graph scale ~seed =
   match scale with
@@ -24,6 +30,11 @@ let bfs_graph scale ~seed =
      the working set — the bandwidth-bound regime of the paper's
      24M-node road network *)
   | Default -> Generator.road ~seed ~width:350 ~height:220
+  (* paper-scale road graphs for the compiled engine: ~1M and ~4.2M
+     nodes, built straight into CSR (the ROADMAP item-1 exit
+     criterion) *)
+  | Large -> Generator.grid ~seed ~width:1024 ~height:1024
+  | Huge -> Generator.grid ~seed ~width:2048 ~height:2048
 
 let spec_bfs scale ~seed = Agp_apps.Bfs_app.speculative { graph = bfs_graph scale ~seed; root = 0 }
 
@@ -35,7 +46,7 @@ let sssp_graph scale ~seed =
      inflate SPEC-SSSP to millions of flooded tasks *)
   match scale with
   | Small -> Generator.random ~seed ~n:600 ~m:1800
-  | Medium | Default -> Generator.random ~seed ~n:3000 ~m:9000
+  | Medium | Default | Large | Huge -> Generator.random ~seed ~n:3000 ~m:9000
 
 let spec_sssp scale ~seed =
   Agp_apps.Sssp_app.speculative { graph = sssp_graph scale ~seed; root = 0 }
@@ -43,14 +54,14 @@ let spec_sssp scale ~seed =
 let mst_graph scale ~seed =
   match scale with
   | Small -> Generator.random ~seed ~n:400 ~m:1200
-  | Medium | Default -> Generator.random ~seed ~n:2500 ~m:7500
+  | Medium | Default | Large | Huge -> Generator.random ~seed ~n:2500 ~m:7500
 
 let spec_mst scale ~seed = Agp_apps.Mst_app.speculative { graph = mst_graph scale ~seed }
 
 let dmr_points scale ~seed =
   match scale with
   | Small -> Generator.points ~seed ~n:120 ~span:100.0
-  | Medium | Default -> Generator.points ~seed ~n:350 ~span:100.0
+  | Medium | Default | Large | Huge -> Generator.points ~seed ~n:350 ~span:100.0
 
 let spec_dmr scale ~seed = Agp_apps.Dmr_app.speculative { points = dmr_points scale ~seed }
 
@@ -60,10 +71,11 @@ let coor_lu scale ~seed =
   | Medium ->
       Agp_apps.Lu_app.coordinative
         (Agp_apps.Lu_app.sized_workload ~seed ~nb:12 ~bs:48 ~density:0.3)
-  | Default ->
+  | Default | Large | Huge ->
       (* BOTS-like scale: the matrix exceeds the Xeon's 25 MB LLC, so
          the software baseline pays DRAM exactly as the FPGA pays QPI —
-         the regime of the paper's evaluation *)
+         the regime of the paper's evaluation.  The larger scales only
+         grow the graph apps: LU's working set is already there. *)
       Agp_apps.Lu_app.coordinative
         (Agp_apps.Lu_app.sized_workload ~seed ~nb:16 ~bs:64 ~density:0.3)
 

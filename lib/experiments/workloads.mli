@@ -9,6 +9,8 @@ type scale =
   | Small
   | Medium  (** the Fig. 10 sweep scale: above-cache working sets, 4x cheaper runs *)
   | Default
+  | Large  (** ~1M-node road grid for the graph apps (compiled engine) *)
+  | Huge  (** ~4.2M-node road grid — the paper-scale regime *)
 
 val scale_of_string : string -> (scale, string) result
 

@@ -21,6 +21,64 @@ let road ~seed ~width ~height =
   done;
   Csr.of_edges ~n !edges
 
+(* Paper-scale road-network stand-in: a full 2-D grid (degree <= 4,
+   diameter width+height-2), built straight into CSR arrays — no edge
+   lists, so multi-million-node graphs materialize in O(n) words.
+   Weights are drawn once per undirected edge, keeping the graph
+   symmetric like {!road}. *)
+let grid ~seed ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Generator.grid: empty grid";
+  let rng = Rng.create seed in
+  let n = width * height in
+  let id x y = (y * width) + x in
+  (* one weight per undirected edge: hw for (x,y)-(x+1,y), vw for
+     (x,y)-(x,y+1) *)
+  let hw = Array.make (max 1 (n - height)) 0 in
+  let vw = Array.make (max 1 (n - width)) 0 in
+  for i = 0 to Array.length hw - 1 do
+    hw.(i) <- Rng.int_in rng 1 10
+  done;
+  for i = 0 to Array.length vw - 1 do
+    vw.(i) <- Rng.int_in rng 1 10
+  done;
+  let h_edge x y = hw.((y * (width - 1)) + x) in
+  let v_edge x y = vw.((y * width) + x) in
+  let row_ptr = Array.make (n + 1) 0 in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let d =
+        (if x > 0 then 1 else 0)
+        + (if x + 1 < width then 1 else 0)
+        + (if y > 0 then 1 else 0)
+        + if y + 1 < height then 1 else 0
+      in
+      row_ptr.(id x y + 1) <- d
+    done
+  done;
+  for v = 0 to n - 1 do
+    row_ptr.(v + 1) <- row_ptr.(v + 1) + row_ptr.(v)
+  done;
+  let m = row_ptr.(n) in
+  let col = Array.make (max m 1) 0 in
+  let weight = Array.make (max m 1) 0 in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let v = id x y in
+      let slot = ref row_ptr.(v) in
+      let put dst w =
+        col.(!slot) <- dst;
+        weight.(!slot) <- w;
+        incr slot
+      in
+      (* ascending target ids, matching Csr.of_edges determinism *)
+      if y > 0 then put (id x (y - 1)) (v_edge x (y - 1));
+      if x > 0 then put (id (x - 1) y) (h_edge (x - 1) y);
+      if x + 1 < width then put (id (x + 1) y) (h_edge x y);
+      if y + 1 < height then put (id x (y + 1)) (v_edge x y)
+    done
+  done;
+  { Csr.n; m; row_ptr; col; weight }
+
 let spanning_backbone rng n =
   (* A random spanning tree: connect each vertex i>0 to a random earlier
      vertex, guaranteeing connectivity. *)

@@ -12,6 +12,13 @@ val road : seed:int -> width:int -> height:int -> Csr.t
     connected).  High diameter, degree 2-4, weights 1-10 — the regime in
     which level-synchronized BFS pays one round per level. *)
 
+val grid : seed:int -> width:int -> height:int -> Csr.t
+(** Paper-scale road-network stand-in: the full [width] x [height]
+    grid (degree <= 4, diameter [width+height-2], symmetric weights
+    1-10) assembled directly into CSR arrays — no intermediate edge
+    list, so multi-million-node graphs build in O(n) words.  Used by
+    the [large]/[huge] workload scales. *)
+
 val random : seed:int -> n:int -> m:int -> Csr.t
 (** Erdős–Rényi-style multigraph-free random graph with [m] undirected
     edges and weights 1-100.  The whole graph is always connected via a

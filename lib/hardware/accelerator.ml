@@ -26,12 +26,17 @@ type pipeline = {
   mutable stepped : bool; (* advanced at least one op this cycle *)
 }
 
+type engine =
+  | Legacy
+  | Compiled
+
 type report = {
   cycles : int;
   seconds : float;
   utilization : float;
   wall_seconds : float;
   sim_cycles_per_sec : float;
+  minor_words_per_cycle : float;
   engine_stats : Agp_core.Engine.stats;
   mem_reads : int;
   mem_writes : int;
@@ -79,16 +84,14 @@ let event_outcome = function
   | Engine.Aborted_task -> Event.Abort
   | Engine.Retried_task -> Event.Retry
 
-let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?timeline ~spec
-    ~bindings ~state ~initial () =
-  let cfg =
-    if config.Config.pipelines = [] && auto_size then
-      Config.with_pipelines config (Resource.heuristic_pipelines spec ~max_per_set:8)
-    else config
-  in
+let run_legacy ~cfg ~sink ?timeline ~spec ~bindings ~state ~initial () =
   let wall_start = Unix.gettimeofday () in
   let graph = Bdfg.of_spec spec in
   let eng = Engine.create spec bindings state in
+  (* set_slot -> name once, instead of List.nth per cycle *)
+  let set_names =
+    Array.of_list (List.map (fun ts -> ts.Spec.ts_name) spec.Spec.task_sets)
+  in
   let mem = Memory.create ~sink cfg in
   State.set_tracing state true;
   List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
@@ -141,6 +144,7 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?time
     | None -> false
   in
   let guard = ref 0 in
+  let minor_start = Gc.minor_words () in
   while Engine.uncommitted_remaining eng do
     incr guard;
     if !guard > 50_000_000 then failwith "Accelerator.run: cycle budget exceeded";
@@ -179,7 +183,7 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?time
     begin
       match (Engine.min_pending_head eng, Engine.min_uncommitted_index eng) with
       | Some head, Some m when Agp_core.Index.compare head.Engine.index m = 0 ->
-          let set = (List.nth spec.Spec.task_sets head.Engine.set_slot).Spec.ts_name in
+          let set = set_names.(head.Engine.set_slot) in
           let in_window =
             Array.exists
               (fun p -> List.exists (fun f -> f.tsk.Engine.tid = head.Engine.tid) p.window)
@@ -269,7 +273,7 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?time
     let place_resumed tasks =
       List.iter
         (fun tsk ->
-          let set = (List.nth spec.Spec.task_sets tsk.Engine.set_slot).Spec.ts_name in
+          let set = set_names.(tsk.Engine.set_slot) in
           let best = ref None in
           Array.iter
             (fun p ->
@@ -314,8 +318,7 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?time
       lazy
         (let tbl = Hashtbl.create 4 in
          List.iter
-           (fun (w : Engine.task) ->
-             Hashtbl.replace tbl (List.nth spec.Spec.task_sets w.Engine.set_slot).Spec.ts_name ())
+           (fun (w : Engine.task) -> Hashtbl.replace tbl set_names.(w.Engine.set_slot) ())
            (Engine.waiting_tasks eng);
          tbl)
     in
@@ -381,6 +384,7 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?time
     end;
     cycle := next
   done;
+  let minor_words = Gc.minor_words () -. minor_start in
   State.set_tracing state false;
   begin
     match timeline with
@@ -406,6 +410,8 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?time
     seconds = Config.cycles_to_seconds cfg !cycle;
     wall_seconds;
     sim_cycles_per_sec = float_of_int !cycle /. wall_seconds;
+    minor_words_per_cycle =
+      (if !cycle = 0 then 0.0 else minor_words /. float_of_int !cycle);
     utilization =
       (if !cycle = 0 || total_stage_ops = 0 then 0.0
        else float_of_int !active_op_cycles /. float_of_int (!cycle * total_stage_ops));
@@ -420,6 +426,48 @@ let run ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null) ?time
         spec.Spec.task_sets;
     attribution = attr;
   }
+
+let run_compiled ~cfg ~sink ?timeline ~spec ~bindings ~state ~initial () =
+  let wall_start = Unix.gettimeofday () in
+  let r = Engine_compiled.run ?timeline ~cfg ~sink ~spec ~bindings ~state ~initial () in
+  let wall_seconds = Float.max 1e-9 (Unix.gettimeofday () -. wall_start) in
+  let st = Memory.stats r.Engine_compiled.r_mem in
+  let cycles = r.Engine_compiled.r_cycles in
+  {
+    cycles;
+    seconds = Config.cycles_to_seconds cfg cycles;
+    wall_seconds;
+    sim_cycles_per_sec = float_of_int cycles /. wall_seconds;
+    minor_words_per_cycle =
+      (if cycles = 0 then 0.0
+       else r.Engine_compiled.r_minor_words /. float_of_int cycles);
+    utilization =
+      (if cycles = 0 || r.Engine_compiled.r_total_stage_ops = 0 then 0.0
+       else
+         float_of_int r.Engine_compiled.r_active_op_cycles
+         /. float_of_int (cycles * r.Engine_compiled.r_total_stage_ops));
+    engine_stats = r.Engine_compiled.r_stats;
+    mem_reads = st.Memory.reads;
+    mem_writes = st.Memory.writes;
+    mem_hit_rate = Memory.hit_rate r.Engine_compiled.r_mem;
+    bytes_over_link = st.Memory.bytes_over_link;
+    peak_in_flight = r.Engine_compiled.r_peak_in_flight;
+    pipelines =
+      List.map (fun ts -> (ts.Spec.ts_name, Config.pipeline_count cfg ts.Spec.ts_name))
+        spec.Spec.task_sets;
+    attribution = r.Engine_compiled.r_attr;
+  }
+
+let run ?(engine = Compiled) ?(config = Config.default) ?(auto_size = true) ?(sink = Sink.null)
+    ?timeline ~spec ~bindings ~state ~initial () =
+  let cfg =
+    if config.Config.pipelines = [] && auto_size then
+      Config.with_pipelines config (Resource.heuristic_pipelines spec ~max_per_set:8)
+    else config
+  in
+  match engine with
+  | Legacy -> run_legacy ~cfg ~sink ?timeline ~spec ~bindings ~state ~initial ()
+  | Compiled -> run_compiled ~cfg ~sink ?timeline ~spec ~bindings ~state ~initial ()
 
 let config_json (cfg : Config.t) =
   [
@@ -477,6 +525,7 @@ let metrics_registry ?events (r : report) =
      host noise and the "seconds" diff token would gate it downward.
      The throughput form carries its own higher-is-better token. *)
   g "accel.sim_cycles_per_sec" r.sim_cycles_per_sec;
+  g "accel.minor_words_per_cycle" r.minor_words_per_cycle;
   g "mem.hit_rate" r.mem_hit_rate;
   begin
     match events with

@@ -21,6 +21,10 @@
     simulated timing is identical either way (the observer never
     perturbs the model). *)
 
+type engine =
+  | Legacy  (** tree-walking {!Agp_core.Engine} stepped per cycle *)
+  | Compiled  (** {!Engine_compiled}: op-array dispatch, pooled frames *)
+
 type report = {
   cycles : int;
   seconds : float;
@@ -31,6 +35,10 @@ type report = {
   sim_cycles_per_sec : float;
       (** simulator throughput ([cycles / wall_seconds]) — the
           higher-is-better signal the CI ratchet gates on *)
+  minor_words_per_cycle : float;
+      (** minor-heap words allocated per simulated cycle inside the
+          cycle loop — the lower-is-better gate on the compiled
+          engine's zero-allocation claim *)
   engine_stats : Agp_core.Engine.stats;
   mem_reads : int;
   mem_writes : int;
@@ -44,6 +52,7 @@ type report = {
 }
 
 val run :
+  ?engine:engine ->
   ?config:Config.t ->
   ?auto_size:bool ->
   ?sink:Agp_obs.Sink.t ->
@@ -55,14 +64,18 @@ val run :
   unit ->
   report
 (** Simulate to quiescence, mutating [state] exactly as the software
-    runtimes would.  With [auto_size] (default true) the pipeline
-    replication is chosen by {!Resource.heuristic_pipelines} when the
-    configuration leaves it empty.  [sink] (default
-    {!Agp_obs.Sink.null}) captures the event stream; it is also
-    threaded into the internal {!Memory}.  [timeline] (default absent)
-    receives interval samples of utilization / occupancy / cache / link
-    activity; the sampler only reads counters, so a sampled run's
-    report is identical to an unsampled one.
+    runtimes would.  [engine] (default {!Compiled}) picks the cycle
+    engine; both produce identical cycles, state, statistics,
+    attribution and event streams (asserted by the conformance
+    harness), differing only in wall-clock speed.  With [auto_size]
+    (default true) the pipeline replication is chosen by
+    {!Resource.heuristic_pipelines} when the configuration leaves it
+    empty.  [sink] (default {!Agp_obs.Sink.null}) captures the event
+    stream; it is also threaded into the internal {!Memory}.
+    [timeline] (default absent) receives interval samples of
+    utilization / occupancy / cache / link activity; the sampler only
+    reads counters, so a sampled run's report is identical to an
+    unsampled one.
     @raise Failure on deadlock or divergence. *)
 
 val metrics_registry :

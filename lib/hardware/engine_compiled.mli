@@ -1,0 +1,42 @@
+(** Compiled cycle engine: the tree-walking {!Agp_core.Engine} +
+    {!Accelerator} cycle loop fused into a bytecode dispatch loop over
+    {!Agp_core.Opcode} op arrays.
+
+    The spec is compiled once ({!Agp_core.Opcode.compile}); tasks are
+    pooled mutable frames whose registers and payloads live in
+    preallocated unboxed int/float arrays, task queues are rings, the
+    priority queue is a flat binary heap, and per-cycle stall
+    attribution accumulates in a flat int matrix — the steady-state
+    loop allocates zero words per cycle.  Idle cycles are skipped by
+    the same next-ready fast-forward wheel as the legacy loop.
+
+    Semantics and timing are replicated exactly: a run produces the
+    same final state, cycle count, engine statistics, attribution and
+    event stream as the legacy engine (asserted by the conformance
+    qcheck in [test/test_conformance.ml]). *)
+
+type result = {
+  r_cycles : int;
+  r_active_op_cycles : int;
+  r_peak_in_flight : int;
+  r_total_stage_ops : int;
+  r_minor_words : float;  (** minor-heap words allocated inside the cycle loop *)
+  r_stats : Agp_core.Engine.stats;
+  r_attr : Agp_obs.Attribution.t;
+  r_mem : Memory.t;
+}
+
+val run :
+  ?timeline:Agp_obs.Timeline.t ->
+  cfg:Config.t ->
+  sink:Agp_obs.Sink.t ->
+  spec:Agp_core.Spec.t ->
+  bindings:Agp_core.Spec.bindings ->
+  state:Agp_core.State.t ->
+  initial:(string * Agp_core.Value.t list) list ->
+  unit ->
+  result
+(** Simulate to quiescence, mutating [state] exactly as {!Accelerator}
+    (and the software runtimes) would.  The wrapper in {!Accelerator}
+    turns the result into a full [report].
+    @raise Failure on deadlock or divergence. *)

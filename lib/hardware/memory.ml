@@ -4,13 +4,17 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable bytes_over_link : int;
-  mutable link_busy_until : float;
 }
 
 type t = {
   cfg : Config.t;
   tags : int array; (* -1 = invalid; direct mapped *)
   n_lines : int;
+  line_bytes : int;
+  hit_latency : int;
+  miss_latency : int;
+  line_time : float; (* link occupancy of one line transfer, cycles *)
+  link_busy_until : float array; (* one unboxed cell: the QPI token bucket *)
   st : stats;
   sink : Agp_obs.Sink.t;
 }
@@ -21,36 +25,42 @@ let create ?(sink = Agp_obs.Sink.null) (cfg : Config.t) =
     cfg;
     tags = Array.make n_lines (-1);
     n_lines;
-    st =
-      { reads = 0; writes = 0; hits = 0; misses = 0; bytes_over_link = 0; link_busy_until = 0.0 };
+    line_bytes = cfg.Config.line_bytes;
+    hit_latency = cfg.Config.hit_latency;
+    miss_latency = cfg.Config.miss_latency;
+    line_time = float_of_int cfg.Config.line_bytes /. Config.bytes_per_cycle cfg;
+    link_busy_until = Array.make 1 0.0;
+    st = { reads = 0; writes = 0; hits = 0; misses = 0; bytes_over_link = 0 };
     sink;
   }
 
 let access t ~now ~addr ~is_write =
   let st = t.st in
   if is_write then st.writes <- st.writes + 1 else st.reads <- st.reads + 1;
-  let line = addr / t.cfg.Config.line_bytes in
+  let line = addr / t.line_bytes in
   let slot = line mod t.n_lines in
   if t.tags.(slot) = line then begin
     st.hits <- st.hits + 1;
     if Agp_obs.Sink.enabled t.sink then
       Agp_obs.Sink.emit t.sink ~ts:now (Agp_obs.Event.Cache_access { addr; is_write; hit = true });
-    now + t.cfg.Config.hit_latency
+    now + t.hit_latency
   end
   else begin
     st.misses <- st.misses + 1;
     t.tags.(slot) <- line;
-    (* wait for a link slot, then the round trip *)
-    let line_time = float_of_int t.cfg.Config.line_bytes /. Config.bytes_per_cycle t.cfg in
-    let start = Float.max (float_of_int now) st.link_busy_until in
-    st.link_busy_until <- start +. line_time;
-    st.bytes_over_link <- st.bytes_over_link + t.cfg.Config.line_bytes;
-    let completion = int_of_float (Float.ceil (start +. line_time)) + t.cfg.Config.miss_latency in
+    (* wait for a link slot, then the round trip ([Float.max] would box
+       both arguments; the comparison keeps everything unboxed) *)
+    let now_f = float_of_int now in
+    let busy = t.link_busy_until.(0) in
+    let start = if now_f >= busy then now_f else busy in
+    t.link_busy_until.(0) <- start +. t.line_time;
+    st.bytes_over_link <- st.bytes_over_link + t.line_bytes;
+    let completion = int_of_float (Float.ceil (start +. t.line_time)) + t.miss_latency in
     if Agp_obs.Sink.enabled t.sink then begin
       Agp_obs.Sink.emit t.sink ~ts:now (Agp_obs.Event.Cache_access { addr; is_write; hit = false });
       Agp_obs.Sink.emit t.sink ~ts:now
         (Agp_obs.Event.Link_transfer
-           { bytes = t.cfg.Config.line_bytes; start = int_of_float start; finish = completion })
+           { bytes = t.line_bytes; start = int_of_float start; finish = completion })
     end;
     completion
   end
@@ -96,4 +106,4 @@ let reset_stats t =
   st.hits <- 0;
   st.misses <- 0;
   st.bytes_over_link <- 0;
-  st.link_busy_until <- 0.0
+  t.link_busy_until.(0) <- 0.0

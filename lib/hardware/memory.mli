@@ -16,7 +16,6 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable bytes_over_link : int;
-  mutable link_busy_until : float;
 }
 
 val create : ?sink:Agp_obs.Sink.t -> Config.t -> t

@@ -22,7 +22,7 @@ let lower_tokens =
   [
     "cycles"; "seconds"; "stall"; "squash"; "abort"; "retried"; "wait"; "miss";
     "bytes_over_link"; "p50"; "p90"; "p99"; "latency"; "idle"; "queue-full"; "queue_full"; "redo";
-    "shed";
+    "shed"; "minor_words";
   ]
 
 let direction_of key =

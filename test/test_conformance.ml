@@ -109,7 +109,16 @@ let test_registry_find () =
   check
     Alcotest.(list string)
     "registry order"
-    [ "sequential"; "runtime"; "parallel"; "simulator"; "cpu-1core"; "cpu-10core"; "opencl" ]
+    [
+      "sequential";
+      "runtime";
+      "parallel";
+      "simulator";
+      "simulator:classic";
+      "cpu-1core";
+      "cpu-10core";
+      "opencl";
+    ]
     Backend.names;
   let name s =
     match Backend.find s with
@@ -118,6 +127,10 @@ let test_registry_find () =
   in
   check Alcotest.string "plain name" "runtime" (name "runtime");
   check Alcotest.string "fpga aliases simulator" "simulator" (name "fpga");
+  check Alcotest.string "compiled engine is the default simulator" "simulator"
+    (name "simulator:compiled");
+  check Alcotest.string "legacy engine stays addressable" "simulator:classic"
+    (name "simulator:classic");
   check Alcotest.string "parameterized workers" "runtime:3" (name "runtime:3");
   check Alcotest.string "parameterized domains" "parallel:2" (name "parallel:2");
   List.iter
@@ -125,6 +138,87 @@ let test_registry_find () =
       check Alcotest.bool (Printf.sprintf "%S rejected" bad) true
         (Result.is_error (Backend.find bad)))
     [ "nosuch"; "runtime:0"; "runtime:-1"; "runtime:x"; "parallel:"; "simulator:4"; "" ]
+
+(* --- cycle equivalence: the compiled op-array engine must be
+   indistinguishable from the legacy tree-walking engine — same final
+   state, same cycle count, same engine statistics, same stall
+   attribution, same event stream --- *)
+
+module Accelerator = Agp_hw.Accelerator
+
+let run_cycle_engine engine (app : App_instance.t) =
+  let r = app.App_instance.fresh () in
+  let config = Backend.derive_config app Agp_hw.Config.default in
+  let sink = Agp_obs.Sink.collect () in
+  let report =
+    Accelerator.run ~engine ~config ~sink ~spec:app.App_instance.spec
+      ~bindings:r.App_instance.bindings ~state:r.App_instance.state
+      ~initial:r.App_instance.initial ()
+  in
+  (report, Agp_obs.Sink.events sink, r.App_instance.state)
+
+let engines_agree (app : App_instance.t) =
+  let lr, lev, lst = run_cycle_engine Accelerator.Legacy app in
+  let cr, cev, cst = run_cycle_engine Accelerator.Compiled app in
+  let faults = ref [] in
+  let fault fmt = Printf.ksprintf (fun s -> faults := s :: !faults) fmt in
+  if lr.Accelerator.cycles <> cr.Accelerator.cycles then
+    fault "cycles: legacy %d vs compiled %d" lr.Accelerator.cycles cr.Accelerator.cycles;
+  if lr.Accelerator.engine_stats <> cr.Accelerator.engine_stats then
+    fault "engine stats differ";
+  if lr.Accelerator.peak_in_flight <> cr.Accelerator.peak_in_flight then
+    fault "peak_in_flight: %d vs %d" lr.Accelerator.peak_in_flight cr.Accelerator.peak_in_flight;
+  if lr.Accelerator.mem_reads <> cr.Accelerator.mem_reads then
+    fault "mem_reads: %d vs %d" lr.Accelerator.mem_reads cr.Accelerator.mem_reads;
+  if lr.Accelerator.mem_writes <> cr.Accelerator.mem_writes then
+    fault "mem_writes: %d vs %d" lr.Accelerator.mem_writes cr.Accelerator.mem_writes;
+  if lr.Accelerator.bytes_over_link <> cr.Accelerator.bytes_over_link then
+    fault "bytes_over_link: %d vs %d" lr.Accelerator.bytes_over_link
+      cr.Accelerator.bytes_over_link;
+  if not (Agp_obs.Attribution.equal lr.Accelerator.attribution cr.Accelerator.attribution) then
+    fault "attribution differs:\nlegacy:\n%s\ncompiled:\n%s"
+      (Agp_obs.Attribution.render lr.Accelerator.attribution)
+      (Agp_obs.Attribution.render cr.Accelerator.attribution);
+  (match Agp_core.State.diff lst cst with
+  | [] -> ()
+  | ds -> fault "final state differs: %s" (String.concat "; " (List.filteri (fun i _ -> i < 5) ds)));
+  if lev <> cev then begin
+    let n = List.length lev and m = List.length cev in
+    if n <> m then fault "event count: %d vs %d" n m
+    else begin
+      List.iteri
+        (fun i ((lt, le), (ct, ce)) ->
+          if !faults = [] && (lt <> ct || le <> ce) then
+            fault "event %d: (%d, %s) vs (%d, %s)" i lt (Agp_obs.Event.kind le) ct
+              (Agp_obs.Event.kind ce))
+        (List.combine lev cev)
+    end
+  end;
+  match !faults with
+  | [] -> Ok ()
+  | fs -> Error (String.concat "\n" (List.rev fs))
+
+let test_engine_equivalence () =
+  List.iter
+    (fun (app : App_instance.t) ->
+      match engines_agree app with
+      | Ok () -> ()
+      | Error msg ->
+          Alcotest.failf "compiled engine diverges from legacy on %s:\n%s"
+            app.App_instance.app_name msg)
+    (Workloads.all Workloads.Small ~seed:7)
+
+let test_engine_equivalence_random =
+  QCheck.Test.make ~name:"compiled engine cycle-equivalent on random seeds" ~count:4
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      List.for_all
+        (fun (app : App_instance.t) ->
+          match engines_agree app with
+          | Ok () -> true
+          | Error msg ->
+              QCheck.Test.fail_reportf "seed %d, %s:\n%s" seed app.App_instance.app_name msg)
+        (Workloads.all Workloads.Small ~seed))
 
 (* --- typed liveness exceptions (satellite: no more stringly Failure) --- *)
 
@@ -229,6 +323,9 @@ let () =
           qtest test_matrix_random_seeds;
           Alcotest.test_case "liveness classified, not crashed" `Quick
             test_conformance_classifies_liveness;
+          Alcotest.test_case "compiled engine == legacy engine (cycles, state, events)" `Quick
+            test_engine_equivalence;
+          qtest test_engine_equivalence_random;
         ] );
       ( "registry",
         [

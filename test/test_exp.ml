@@ -107,6 +107,8 @@ let test_scale_parse () =
   check Alcotest.bool "small" true (Workloads.scale_of_string "small" = Ok Workloads.Small);
   check Alcotest.bool "medium" true (Workloads.scale_of_string "medium" = Ok Workloads.Medium);
   check Alcotest.bool "default" true (Workloads.scale_of_string "default" = Ok Workloads.Default);
+  check Alcotest.bool "large" true (Workloads.scale_of_string "large" = Ok Workloads.Large);
+  check Alcotest.bool "huge" true (Workloads.scale_of_string "huge" = Ok Workloads.Huge);
   check Alcotest.bool "garbage rejected" true (Result.is_error (Workloads.scale_of_string "big"))
 
 let () =
