@@ -215,6 +215,15 @@ let run_cmd =
     Arg.(
       value & opt float 1.0 & info [ "bandwidth" ] ~doc:"QPI bandwidth multiplier (simulator).")
   in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Scheduler-tick budget for worker-pool backends (runtime[:workers]); exceeding it \
+             is a liveness failure (exit 3).")
+  in
   let report_arg =
     Arg.(
       value
@@ -224,7 +233,7 @@ let run_cmd =
             "Write a schema-versioned machine-readable run report (JSON) to $(docv) — the \
              artifact $(b,agp diff) compares.  Requires an obs-capable backend.")
   in
-  let resolve_backend name ~workers ~bw =
+  let resolve_backend name ~workers ~bw ~max_steps =
     let name =
       match (name, workers) with
       | ("runtime" | "parallel"), Some n -> Printf.sprintf "%s:%d" name n
@@ -233,21 +242,25 @@ let run_cmd =
     match Backend.find name with
     | Error _ as e -> e
     | Ok b ->
-        if b.Backend.name = "simulator" && bw <> 1.0 then
-          Ok
-            (Backend.simulator
-               ~config:(Agp_hw.Config.scale_bandwidth Agp_hw.Config.default bw)
-               ())
-        else Ok b
+        let b =
+          if b.Backend.name = "simulator" && bw <> 1.0 then
+            Backend.simulator
+              ~config:(Agp_hw.Config.scale_bandwidth Agp_hw.Config.default bw)
+              ()
+          else b
+        in
+        (match max_steps with
+        | None -> Ok b
+        | Some n -> Backend.with_max_steps b n)
   in
   let print_native = function
-    | Backend.Sequential _ -> ()
-    | Backend.Runtime r ->
-        Printf.printf "  %d steps, peak %d running, peak %d parked, mean busy %.2f\n"
-          r.Agp_core.Runtime.steps r.Agp_core.Runtime.max_concurrency
-          r.Agp_core.Runtime.max_waiting r.Agp_core.Runtime.avg_busy
-    | Backend.Parallel r ->
-        Printf.printf "  %d domains used\n" r.Agp_core.Parallel_runtime.domains_used
+    | Backend.Stepper r ->
+        if r.Agp_core.Semantics.steps > 0 then
+          Printf.printf "  %d steps, peak %d running, peak %d parked, mean busy %.2f\n"
+            r.Agp_core.Semantics.steps r.Agp_core.Semantics.max_concurrency
+            r.Agp_core.Semantics.max_waiting r.Agp_core.Semantics.avg_busy;
+        if r.Agp_core.Semantics.domains_used > 0 then
+          Printf.printf "  %d domains used\n" r.Agp_core.Semantics.domains_used
     | Backend.Simulated r ->
         Printf.printf "  %d cycles, utilization %.1f%%, cache hit %.1f%%\n"
           r.Agp_hw.Accelerator.cycles
@@ -264,13 +277,13 @@ let run_cmd =
           r.Agp_baseline.Opencl_model.rounds r.Agp_baseline.Opencl_model.kernel_launches
           r.Agp_baseline.Opencl_model.bytes_moved
   in
-  let run scale seed name backend workers bw report_out =
+  let run scale seed name backend workers bw max_steps report_out =
     match find_app scale seed name with
     | Error e ->
         prerr_endline e;
         exit 1
     | Ok app -> begin
-        match resolve_backend backend ~workers ~bw with
+        match resolve_backend backend ~workers ~bw ~max_steps with
         | Error e ->
             prerr_endline e;
             exit 1
@@ -338,7 +351,7 @@ let run_cmd =
          ])
     Term.(
       const run $ scale_arg $ seed_arg $ app_arg $ backend_arg $ workers_arg $ bw_arg
-      $ report_arg)
+      $ max_steps_arg $ report_arg)
 
 let backends_cmd =
   let run () =

@@ -4,6 +4,7 @@ module Accelerator = Agp_hw.Accelerator
 module Cpu_model = Agp_baseline.Cpu_model
 module Opencl_model = Agp_baseline.Opencl_model
 module Engine = Agp_core.Engine
+module Semantics = Agp_core.Semantics
 
 type capabilities = {
   timed : bool;
@@ -13,9 +14,7 @@ type capabilities = {
 }
 
 type native =
-  | Sequential of Agp_core.Sequential.report
-  | Runtime of Agp_core.Runtime.report
-  | Parallel of Agp_core.Parallel_runtime.report
+  | Stepper of Semantics.report
   | Simulated of Accelerator.report
   | Cpu of Cpu_model.report
   | Opencl of Opencl_model.report
@@ -37,6 +36,7 @@ type t = {
   summary : string;
   capabilities : capabilities;
   supports : App_instance.t -> (unit, string) result;
+  interp : Semantics.interpretation option;
   exec : obs:bool -> App_instance.t -> run_result;
 }
 
@@ -77,57 +77,59 @@ let supports_all (_ : App_instance.t) = Ok ()
 
 let outcomes (s : Engine.stats) = s.Engine.committed + s.Engine.aborted + s.Engine.retried
 
-(* --- the five execution paths --- *)
+(* --- the execution paths --- *)
 
-let sequential =
-  {
-    name = "sequential";
-    summary = "in-order oracle (Definition 4.3) — the semantics every other backend is judged against";
-    capabilities = { timed = false; parallel = false; obs_report = false; validates = true };
-    supports = supports_all;
-    exec =
-      (fun ~obs:_ app ->
-        let report, r = App_instance.run_sequential app in
-        {
-          backend_name = "sequential";
-          app_name = app.App_instance.app_name;
-          check = r.App_instance.check ();
-          seconds = None;
-          tasks_run = Some report.Agp_core.Sequential.tasks_run;
-          engine_stats = Some report.Agp_core.Sequential.stats;
-          obs = None;
-          native = Sequential report;
-          final = Some r;
-        });
-  }
-
-let default_workers = 8
-
-let runtime ?(workers = default_workers) () =
-  let name =
-    if workers = default_workers then "runtime" else Printf.sprintf "runtime:%d" workers
-  in
+(* A stepper backend is an interpretation record lifted into the
+   registry: execution is always [Semantics.run] on a fresh instance —
+   the record is the entire substrate definition.  The conformance
+   suite exercises this with a throwaway counting interpretation to
+   keep the claim honest. *)
+let of_interpretation ~name ~summary
+    ?(capabilities =
+      { timed = false; parallel = true; obs_report = false; validates = true }) interp =
   {
     name;
-    summary =
-      Printf.sprintf "aggressive software runtime (§4.4), %d abstract workers" workers;
-    capabilities = { timed = false; parallel = true; obs_report = false; validates = true };
+    summary;
+    capabilities;
     supports = supports_all;
+    interp = Some interp;
     exec =
       (fun ~obs:_ app ->
-        let report, r = App_instance.run_runtime ~workers app in
+        let r = app.App_instance.fresh () in
+        let report =
+          Semantics.run ~initial:r.App_instance.initial interp app.App_instance.spec
+            r.App_instance.bindings r.App_instance.state
+        in
         {
           backend_name = name;
           app_name = app.App_instance.app_name;
           check = r.App_instance.check ();
           seconds = None;
-          tasks_run = Some report.Agp_core.Runtime.tasks_run;
-          engine_stats = Some report.Agp_core.Runtime.stats;
+          tasks_run = Some report.Semantics.tasks_run;
+          engine_stats = Some report.Semantics.stats;
           obs = None;
-          native = Runtime report;
+          native = Stepper report;
           final = Some r;
         });
   }
+
+let sequential =
+  of_interpretation ~name:"sequential"
+    ~summary:
+      "in-order oracle (Definition 4.3) — the semantics every other backend is judged against"
+    ~capabilities:{ timed = false; parallel = false; obs_report = false; validates = true }
+    (Semantics.oracle ())
+
+let default_workers = 8
+
+let runtime ?(workers = default_workers) ?max_steps () =
+  let name =
+    if workers = default_workers then "runtime" else Printf.sprintf "runtime:%d" workers
+  in
+  of_interpretation ~name
+    ~summary:
+      (Printf.sprintf "aggressive software runtime (§4.4), %d abstract workers" workers)
+    (Semantics.pipelined ~workers ?max_steps ())
 
 let parallel ?domains () =
   let name =
@@ -135,30 +137,22 @@ let parallel ?domains () =
     | None -> "parallel"
     | Some n -> Printf.sprintf "parallel:%d" n
   in
-  {
-    name;
-    summary = "genuinely multicore OCaml-5-domains runtime (§4.4's pthread option)";
-    capabilities = { timed = false; parallel = true; obs_report = false; validates = true };
-    supports = supports_all;
-    exec =
-      (fun ~obs:_ app ->
-        let r = app.App_instance.fresh () in
-        let report =
-          Agp_core.Parallel_runtime.run ~initial:r.App_instance.initial ?domains
-            app.App_instance.spec r.App_instance.bindings r.App_instance.state
-        in
-        {
-          backend_name = name;
-          app_name = app.App_instance.app_name;
-          check = r.App_instance.check ();
-          seconds = None;
-          tasks_run = Some report.Agp_core.Parallel_runtime.tasks_run;
-          engine_stats = Some report.Agp_core.Parallel_runtime.stats;
-          obs = None;
-          native = Parallel report;
-          final = Some r;
-        });
-  }
+  of_interpretation ~name
+    ~summary:"genuinely multicore OCaml-5-domains runtime (§4.4's pthread option)"
+    (Semantics.multicore ?domains ())
+
+let with_max_steps b n =
+  match b.interp with
+  | Some i -> begin
+      match i.Semantics.policy with
+      | Semantics.Workers { workers; max_steps = _ } ->
+          let interp = { i with Semantics.policy = Semantics.Workers { workers; max_steps = n } } in
+          Ok (of_interpretation ~name:b.name ~summary:b.summary ~capabilities:b.capabilities interp)
+      | Semantics.Min_first _ | Semantics.Domains _ ->
+          Error (Printf.sprintf "backend %s has no step budget (not a worker-pool interpretation)" b.name)
+    end
+  | None ->
+      Error (Printf.sprintf "backend %s has no step budget (not a stepper interpretation)" b.name)
 
 let derive_config (app : App_instance.t) (base : Config.t) =
   {
@@ -194,6 +188,7 @@ let simulator ?(engine = Accelerator.Compiled) ?(config = Config.default) ?(auto
     summary;
     capabilities = { timed = true; parallel = true; obs_report = true; validates = true };
     supports = supports_all;
+    interp = None;
     exec =
       (fun ~obs app ->
         let config = derive_config app config in
@@ -243,6 +238,7 @@ let cpu_backend which =
     summary;
     capabilities = { timed = true; parallel = is_parallel; obs_report = false; validates = false };
     supports = supports_all;
+    interp = None;
     exec =
       (fun ~obs:_ app ->
         let r = Cpu_model.run app in
@@ -272,6 +268,7 @@ let opencl =
     name = "opencl";
     summary = "round-based timing model of the Altera-OpenCL HLS baseline (Table 1)";
     capabilities = { timed = true; parallel = true; obs_report = false; validates = false };
+    interp = None;
     supports =
       (fun app ->
         match app.App_instance.graph_source with
@@ -310,17 +307,17 @@ let opencl =
 
 (* --- registry --- *)
 
+(* The legacy tree-walking cycle engine is retired from the default
+   registry: the compiled engine is cross-checked against the unified
+   stepper oracle by the conformance matrix, and the engine-equivalence
+   tests still drive [Accelerator.Legacy] directly.  One release of
+   escape hatch: AGP_CLASSIC=1 puts [simulator:classic] back. *)
+let classic_enabled = Sys.getenv_opt "AGP_CLASSIC" = Some "1"
+
 let all =
-  [
-    sequential;
-    runtime ();
-    parallel ();
-    simulator ();
-    simulator_classic ();
-    cpu_1core;
-    cpu_10core;
-    opencl;
-  ]
+  [ sequential; runtime (); parallel (); simulator () ]
+  @ (if classic_enabled then [ simulator_classic () ] else [])
+  @ [ cpu_1core; cpu_10core; opencl ]
 
 let names = List.map (fun b -> b.name) all
 
@@ -392,13 +389,24 @@ let find name =
   | [ "parallel" ] -> Ok (parallel ())
   | [ "parallel"; n ] -> Result.map (fun domains -> parallel ~domains ()) (count "parallel" n)
   | [ "simulator" ] | [ "fpga" ] | [ "simulator"; "compiled" ] -> Ok (simulator ())
-  | [ "simulator"; "classic" ] -> Ok (simulator_classic ())
+  | [ "simulator"; "classic" ] ->
+      if classic_enabled then Ok (simulator_classic ())
+      else
+        Error
+          "simulator:classic is retired from the default registry (the compiled engine is \
+           cross-checked against the sequential oracle by the conformance matrix).\n\
+           Set AGP_CLASSIC=1 to re-enable it for one more release."
   | [ "cpu-1core" ] -> Ok cpu_1core
   | [ "cpu-10core" ] -> Ok cpu_10core
   | [ "opencl" ] -> Ok opencl
   | _ -> Error (unknown_backend_message name)
 
 (* --- native accessors --- *)
+
+let stepper_report r =
+  match r.native with
+  | Stepper s -> Some s
+  | _ -> None
 
 let simulated_report r =
   match r.native with

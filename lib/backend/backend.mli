@@ -33,11 +33,12 @@ type capabilities = {
 
 (** The substrate's native report, carried alongside the uniform fields
     as a typed escape hatch for substrate-specific views (stall
-    attribution, cache hit rates, makespan steps, ...). *)
+    attribution, cache hit rates, makespan steps, ...).  Every
+    stepper-interpretation backend (sequential, runtime, parallel, and
+    any {!of_interpretation} substrate) shares the [Stepper] shape —
+    one semantics, one report. *)
 type native =
-  | Sequential of Agp_core.Sequential.report
-  | Runtime of Agp_core.Runtime.report
-  | Parallel of Agp_core.Parallel_runtime.report
+  | Stepper of Agp_core.Semantics.report
   | Simulated of Agp_hw.Accelerator.report
   | Cpu of Agp_baseline.Cpu_model.report
   | Opencl of Agp_baseline.Opencl_model.report
@@ -68,6 +69,10 @@ type t = {
   supports : Agp_apps.App_instance.t -> (unit, string) result;
       (** whether this backend can execute the app (e.g. the AOCL model
           needs a graph substrate); call through {!run}, which checks *)
+  interp : Agp_core.Semantics.interpretation option;
+      (** for stepper backends, the interpretation record that {e is}
+          the substrate — scheduling policy plus effect hooks; [None]
+          for the simulator and the timing models *)
   exec : obs:bool -> Agp_apps.App_instance.t -> run_result;
       (** implementation hook — call {!run}, not this *)
 }
@@ -88,18 +93,39 @@ val run : ?obs:bool -> ?request_id:string -> t -> Agp_apps.App_instance.t -> run
 
 (** {1 The registry} *)
 
+val of_interpretation :
+  name:string ->
+  summary:string ->
+  ?capabilities:capabilities ->
+  Agp_core.Semantics.interpretation ->
+  t
+(** Lift an interpretation record into a registry backend: execution is
+    [Semantics.run] on a fresh instance, the native report is
+    [Stepper].  This is how {!sequential}, {!runtime} and {!parallel}
+    are built — a new software substrate is a record, not a module.
+    Default capabilities: untimed, parallel, no obs report,
+    validating. *)
+
 val sequential : t
 (** The in-order oracle (Definition 4.3) every other backend is judged
-    against. *)
+    against — the {!Agp_core.Semantics.oracle} interpretation. *)
 
-val runtime : ?workers:int -> unit -> t
+val runtime : ?workers:int -> ?max_steps:int -> unit -> t
 (** The aggressive software runtime (§4.4) on [workers] abstract
-    workers (default 8).  Named ["runtime"], or ["runtime:N"] for a
-    non-default count. *)
+    workers (default 8) — the {!Agp_core.Semantics.pipelined}
+    interpretation.  Named ["runtime"], or ["runtime:N"] for a
+    non-default count.  [max_steps] bounds the scheduler (default 1e8
+    ticks); exceeding it raises [Agp_core.Runtime.Step_limit_exceeded]. *)
 
 val parallel : ?domains:int -> unit -> t
-(** The OCaml-5-domains runtime (§4.4's pthread option).  Named
+(** The OCaml-5-domains runtime (§4.4's pthread option) — the
+    {!Agp_core.Semantics.multicore} interpretation.  Named
     ["parallel"], or ["parallel:N"] for an explicit domain count. *)
+
+val with_max_steps : t -> int -> (t, string) result
+(** Rebuild a worker-pool backend with a different step budget (the
+    CLI's [--max-steps]); [Error] for backends whose policy has no
+    budget (the oracle, domains, the simulator, timing models). *)
 
 val simulator :
   ?engine:Agp_hw.Accelerator.engine ->
@@ -115,8 +141,10 @@ val simulator :
     [auto_size] as in {!Agp_hw.Accelerator.run}. *)
 
 val simulator_classic : ?config:Agp_hw.Config.t -> ?auto_size:bool -> unit -> t
-(** {!simulator} pinned to the legacy engine — kept in the registry so
-    the conformance matrix cross-checks both engines every run. *)
+(** {!simulator} pinned to the legacy tree-walking engine.  Retired
+    from the default registry (the compiled engine is cross-checked
+    against the unified stepper oracle instead); [AGP_CLASSIC=1] in the
+    environment re-registers it for one more release. *)
 
 val cpu_1core : t
 val cpu_10core : t
@@ -130,8 +158,13 @@ val opencl : t
 
 val all : t list
 (** Default instances of every registered backend, in presentation
-    order: sequential, runtime, parallel, simulator,
-    simulator:classic, cpu-1core, cpu-10core, opencl. *)
+    order: sequential, runtime, parallel, simulator, cpu-1core,
+    cpu-10core, opencl — plus simulator:classic when [AGP_CLASSIC=1]
+    is set. *)
+
+val classic_enabled : bool
+(** Whether the [AGP_CLASSIC=1] escape hatch is active (read once at
+    startup). *)
 
 val names : string list
 
@@ -153,6 +186,7 @@ val derive_config : Agp_apps.App_instance.t -> Agp_hw.Config.t -> Agp_hw.Config.
 
 (** {1 Accessors for the native report} *)
 
+val stepper_report : run_result -> Agp_core.Semantics.report option
 val simulated_report : run_result -> Agp_hw.Accelerator.report option
 val cpu_report : run_result -> Agp_baseline.Cpu_model.report option
 val opencl_report : run_result -> Agp_baseline.Opencl_model.report option

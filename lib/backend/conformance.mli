@@ -48,6 +48,17 @@ val mutating : Backend.t list -> Backend.t list
 (** The state-mutating subset ([capabilities.validates]) — the backends
     the differential property quantifies over. *)
 
+val matrix_backends : unit -> Backend.t list
+(** The canonical backends-under-test set, derived from [Backend.all]
+    (every validating backend) plus pinned [parallel:1/2/4] instances.
+    Registering a validating backend opts it into conformance
+    automatically — there is no separate list to keep in sync. *)
+
+val missing_from : row list -> Backend.t list
+(** Validating backends of [Backend.all] that appear in no row — the
+    CI assertion that nothing silently opted out of the matrix.  Empty
+    on a complete run. *)
+
 val matrix :
   ?state_equiv:(Agp_apps.App_instance.t -> bool) ->
   backends:Backend.t list ->

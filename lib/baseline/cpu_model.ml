@@ -1,5 +1,6 @@
 module State = Agp_core.State
 module Engine = Agp_core.Engine
+module Semantics = Agp_core.Semantics
 module App_instance = Agp_apps.App_instance
 
 type params = {
@@ -38,6 +39,7 @@ type report = {
   seconds_10core : float;
   tasks : int;
   ops : int;
+  mem_ops : int;
   accesses : int;
   l1_hit_rate : float;
   parallel_steps : int;
@@ -67,14 +69,30 @@ let replay_access p c addr =
     end
   end
 
+(* The timing model is an effect-hook interpretation of the shared
+   stepper: it watches the operation stream through {!Semantics.hooks}
+   (here counting memory operations retired) while the address trace
+   for cache replay comes from {!State} tracing — addresses are a
+   state-layer concern, not a scheduling one. *)
+let mem_counting_hooks counter =
+  {
+    Semantics.on_event =
+      (fun ~tick:_ ~worker:_ _ ev ->
+        match ev with
+        | Semantics.Executed (Agp_core.Spec.Load _ | Agp_core.Spec.Store _) -> incr counter
+        | _ -> ());
+  }
+
 let run ?(params = default_params) (app : App_instance.t) =
   let p = params in
-  (* --- sequential profiled run --- *)
+  (* --- sequential profiled run: the oracle interpretation --- *)
   let seq = app.App_instance.fresh () in
   State.set_tracing seq.App_instance.state true;
+  let mem_ops = ref 0 in
   let seq_report =
-    Agp_core.Sequential.run ~initial:seq.App_instance.initial app.App_instance.spec
-      seq.App_instance.bindings seq.App_instance.state
+    Semantics.run ~initial:seq.App_instance.initial
+      (Semantics.with_hooks (Semantics.oracle ()) (mem_counting_hooks mem_ops))
+      app.App_instance.spec seq.App_instance.bindings seq.App_instance.state
   in
   let trace = State.drain_trace seq.App_instance.state in
   State.set_tracing seq.App_instance.state false;
@@ -92,7 +110,7 @@ let run ?(params = default_params) (app : App_instance.t) =
       replay_access p c (State.address_of seq.App_instance.state a.State.array_name a.State.index))
     trace;
   let accesses = List.length trace in
-  let stats = seq_report.Agp_core.Sequential.stats in
+  let stats = seq_report.Semantics.stats in
   let ops = stats.Engine.ops_executed in
   let tasks = stats.Engine.committed + stats.Engine.aborted + stats.Engine.retried in
   let stall_cycles =
@@ -113,7 +131,7 @@ let run ?(params = default_params) (app : App_instance.t) =
         | None -> acc)
       0.0 counts
   in
-  let kernel_cycles = kernel_cost seq_report.Agp_core.Sequential.prim_counts in
+  let kernel_cycles = kernel_cost seq_report.Semantics.prim_counts in
   let seq_cycles =
     (float_of_int ops *. p.cycles_per_op)
     +. (stall_cycles *. p.stall_overlap)
@@ -121,26 +139,27 @@ let run ?(params = default_params) (app : App_instance.t) =
     +. (float_of_int (tasks * app.App_instance.sw_task_overhead))
   in
   let seconds_1core = seq_cycles /. (p.freq_ghz *. 1.0e9) in
-  (* --- 10-core run: the aggressive runtime gives the makespan --- *)
+  (* --- 10-core run: the pipelined interpretation gives the makespan --- *)
   let par = app.App_instance.fresh () in
   let par_report =
-    Agp_core.Runtime.run ~initial:par.App_instance.initial ~workers:p.cores
+    Semantics.run ~initial:par.App_instance.initial
+      (Semantics.pipelined ~workers:p.cores ())
       app.App_instance.spec par.App_instance.bindings par.App_instance.state
   in
-  let par_stats = par_report.Agp_core.Runtime.stats in
+  let par_stats = par_report.Semantics.stats in
   let par_tasks =
     par_stats.Engine.committed + par_stats.Engine.aborted + par_stats.Engine.retried
   in
   let avg_stall_per_op =
     if ops = 0 then 0.0 else stall_cycles *. p.stall_overlap /. float_of_int ops
   in
-  let par_kernel_cycles = kernel_cost par_report.Agp_core.Runtime.prim_counts in
+  let par_kernel_cycles = kernel_cost par_report.Semantics.prim_counts in
   (* each scheduler tick advances every busy core by one op; kernel
      arithmetic spreads across the cores that the dependence structure
      actually keeps busy (measured by the runtime) *)
-  let busy = Float.max 1.0 par_report.Agp_core.Runtime.avg_busy in
+  let busy = Float.max 1.0 par_report.Semantics.avg_busy in
   let par_cycles =
-    (float_of_int par_report.Agp_core.Runtime.steps *. (p.cycles_per_op +. avg_stall_per_op))
+    (float_of_int par_report.Semantics.steps *. (p.cycles_per_op +. avg_stall_per_op))
     +. (par_kernel_cycles /. Float.min busy (float_of_int p.cores))
     +. (float_of_int par_tasks
        *. (1.7 *. float_of_int app.App_instance.sw_task_overhead)
@@ -152,8 +171,9 @@ let run ?(params = default_params) (app : App_instance.t) =
     seconds_10core;
     tasks;
     ops;
+    mem_ops = !mem_ops;
     accesses;
     l1_hit_rate =
       (if accesses = 0 then 1.0 else float_of_int c.l1_hits /. float_of_int accesses);
-    parallel_steps = par_report.Agp_core.Runtime.steps;
+    parallel_steps = par_report.Semantics.steps;
   }

@@ -39,6 +39,10 @@ type report = {
   seconds_10core : float;
   tasks : int;
   ops : int;
+  mem_ops : int;
+      (** loads + stores retired on the profiled sequential run,
+          counted through {!Agp_core.Semantics.hooks} — the model is an
+          effect-hook interpretation of the shared stepper *)
   accesses : int;
   l1_hit_rate : float;
   parallel_steps : int;  (** 10-worker makespan in scheduler ticks *)

@@ -1,52 +1,34 @@
 type env = (string, Value.t) Hashtbl.t
 
-let arith_error op = invalid_arg ("Interp: bad operands for " ^ op)
+let arith_error = Binop.arith_error
 
+(* One semantics for every evaluator: the tree-walker adapts boxed
+   [Value.t]s into {!Binop}'s tagged-slot representation and delegates.
+   The per-call scratch is three 2-element arrays — this path was never
+   allocation-sensitive (the compiled engine calls {!Binop.exec} on its
+   own preallocated stacks). *)
 let eval_binop (op : Spec.binop) (a : Value.t) (b : Value.t) : Value.t =
-  let open Value in
-  let num_promote f_int f_float =
-    match (a, b) with
-    | Int x, Int y -> Int (f_int x y)
-    | Float x, Float y -> Float (f_float x y)
-    | Int x, Float y -> Float (f_float (float_of_int x) y)
-    | Float x, Int y -> Float (f_float x (float_of_int y))
-    | (Bool _, _ | _, Bool _) -> arith_error "arithmetic"
+  let st_i = Array.make 2 0 in
+  let st_f = Array.make 2 0.0 in
+  let st_tg = Array.make 2 Binop.tg_int in
+  let put k (v : Value.t) =
+    match v with
+    | Value.Int n ->
+        st_i.(k) <- n;
+        st_tg.(k) <- Binop.tg_int
+    | Value.Float x ->
+        st_f.(k) <- x;
+        st_tg.(k) <- Binop.tg_float
+    | Value.Bool b ->
+        st_i.(k) <- (if b then 1 else 0);
+        st_tg.(k) <- Binop.tg_bool
   in
-  let cmp f =
-    match (a, b) with
-    | Int x, Int y -> Bool (f (compare x y) 0)
-    | Float x, Float y -> Bool (f (compare x y) 0)
-    | Int x, Float y -> Bool (f (compare (float_of_int x) y) 0)
-    | Float x, Int y -> Bool (f (compare x (float_of_int y)) 0)
-    | Bool x, Bool y -> Bool (f (compare x y) 0)
-    | (Bool _, _ | _, Bool _) -> arith_error "comparison"
-  in
-  match op with
-  | Add -> num_promote ( + ) ( +. )
-  | Sub -> num_promote ( - ) ( -. )
-  | Mul -> num_promote ( * ) ( *. )
-  | Div -> begin
-      match (a, b) with
-      | _, Int 0 -> invalid_arg "Interp: division by zero"
-      | _, (Int _ | Float _) -> num_promote ( / ) ( /. )
-      | _, Bool _ -> arith_error "division"
-    end
-  | Rem -> begin
-      match (a, b) with
-      | Int _, Int 0 -> invalid_arg "Interp: modulo by zero"
-      | Int x, Int y -> Int (x mod y)
-      | (Int _ | Float _ | Bool _), _ -> arith_error "rem"
-    end
-  | Min -> num_promote min min
-  | Max -> num_promote max max
-  | Eq -> cmp ( = )
-  | Ne -> cmp ( <> )
-  | Lt -> cmp ( < )
-  | Le -> cmp ( <= )
-  | Gt -> cmp ( > )
-  | Ge -> cmp ( >= )
-  | And -> Bool (Value.to_bool a && Value.to_bool b)
-  | Or -> Bool (Value.to_bool a || Value.to_bool b)
+  put 0 a;
+  put 1 b;
+  Binop.exec st_i st_f st_tg op 0 1;
+  if st_tg.(0) = Binop.tg_int then Value.Int st_i.(0)
+  else if st_tg.(0) = Binop.tg_float then Value.Float st_f.(0)
+  else Value.Bool (st_i.(0) <> 0)
 
 let rec eval_expr env payload (e : Spec.expr) : Value.t =
   match e with
@@ -60,7 +42,12 @@ let rec eval_expr env payload (e : Spec.expr) : Value.t =
       | Some v -> v
       | None -> invalid_arg ("Interp: unbound variable " ^ name)
     end
-  | Binop (op, a, b) -> eval_binop op (eval_expr env payload a) (eval_expr env payload b)
+  | Binop (op, a, b) ->
+      (* left operand first, matching the compiled engine's postfix
+         order — observable when both operands raise *)
+      let va = eval_expr env payload a in
+      let vb = eval_expr env payload b in
+      eval_binop op va vb
   | Not e -> Value.Bool (not (Value.to_bool (eval_expr env payload e)))
   | Neg e -> begin
       match eval_expr env payload e with
@@ -81,7 +68,9 @@ let rec eval_cond_value ~params ~fields (c : Spec.cond) : Value.t =
   | CField i -> if i < 0 || i >= Array.length fields then raise Out_of_range else fields.(i)
   | CEarlier | CLater -> assert false (* replaced before reaching here *)
   | CBinop (op, a, b) ->
-      eval_binop op (eval_cond_value ~params ~fields a) (eval_cond_value ~params ~fields b)
+      let va = eval_cond_value ~params ~fields a in
+      let vb = eval_cond_value ~params ~fields b in
+      eval_binop op va vb
   | CNot c -> Value.Bool (not (Value.to_bool (eval_cond_value ~params ~fields c)))
   | COverlap (p, f) ->
       let tail arr from =

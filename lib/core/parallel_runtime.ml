@@ -1,3 +1,9 @@
+(* The domain-parallel substrate, now expressed as the
+   {!Semantics.multicore} interpretation: OCaml 5 domains over the
+   shared engine, one lock, resumed tasks first.  The loop lives in
+   {!Semantics}; this module only adapts the report shape.  Liveness
+   failures surface as [Runtime.Deadlock] (the shared constructor). *)
+
 type report = {
   tasks_run : int;
   domains_used : int;
@@ -5,74 +11,9 @@ type report = {
 }
 
 let run ?(initial = []) ?domains sp bindings st =
-  let n_domains =
-    match domains with
-    | Some n -> max 1 n
-    | None -> min 4 (Domain.recommended_domain_count ())
-  in
-  let eng = Engine.create sp bindings st in
-  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
-  let lock = Mutex.create () in
-  let resumable : Engine.task Queue.t = Queue.create () in
-  let tasks_run = Atomic.make 0 in
-  let failure : exn option Atomic.t = Atomic.make None in
-  (* Each domain repeatedly: take the lock, acquire a task (resumed
-     first), run it op-by-op under the lock until it blocks or
-     finishes, then release.  Holding the lock across a whole task
-     slice keeps engine invariants simple; parallelism across domains
-     comes from the slices interleaving at block/finish boundaries and
-     from the OS overlapping the lock-free tails. *)
-  let worker () =
-    let idle_spins = ref 0 in
-    let running = ref true in
-    while !running && Atomic.get failure = None do
-      Mutex.lock lock;
-      let task =
-        if not (Queue.is_empty resumable) then Some (Queue.pop resumable)
-        else Engine.pop_any eng
-      in
-      begin
-        match task with
-        | Some task -> begin
-            idle_spins := 0;
-            let rec slice () =
-              match Engine.step eng task with
-              | Engine.Stepped -> slice ()
-              | Engine.Blocked ->
-                  Engine.resolve_pending eng;
-                  List.iter (fun t -> Queue.push t resumable) (Engine.resume_ready eng)
-              | Engine.Finished _ ->
-                  Atomic.incr tasks_run;
-                  Engine.resolve_pending eng;
-                  List.iter (fun t -> Queue.push t resumable) (Engine.resume_ready eng)
-            in
-            (try slice () with e -> Atomic.set failure (Some e))
-          end
-        | None ->
-            if not (Engine.uncommitted_remaining eng) then running := false
-            else begin
-              (* nothing runnable here: give the minimum-task machinery
-                 a chance, then back off *)
-              Engine.resolve_pending eng;
-              List.iter (fun t -> Queue.push t resumable) (Engine.resume_ready eng);
-              incr idle_spins;
-              if !idle_spins > 1_000_000 then begin
-                if Engine.deadlocked eng then
-                  Atomic.set failure
-                    (Some (Runtime.Deadlock "Parallel_runtime.run: deadlock in rule resolution"))
-              end
-            end
-      end;
-      Mutex.unlock lock;
-      if task = None then Domain.cpu_relax ()
-    done
-  in
-  let spawned = List.init (n_domains - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  List.iter Domain.join spawned;
-  begin
-    match Atomic.get failure with
-    | Some e -> raise e
-    | None -> ()
-  end;
-  { tasks_run = Atomic.get tasks_run; domains_used = n_domains; stats = Engine.stats eng }
+  let r = Semantics.run ~initial (Semantics.multicore ?domains ()) sp bindings st in
+  {
+    tasks_run = r.Semantics.tasks_run;
+    domains_used = r.Semantics.domains_used;
+    stats = r.Semantics.stats;
+  }

@@ -1,12 +1,14 @@
-exception Deadlock of string
+(* The aggressive software runtime (§4.4), now expressed as the
+   {!Semantics.pipelined} interpretation: a fixed pool of abstract
+   workers, one operation per busy worker per tick, resumed tasks
+   taking slot priority.  The loop lives in {!Semantics}; this module
+   re-exports the typed liveness exceptions (same constructors, so
+   existing [Runtime.Deadlock] handlers keep matching) and adapts the
+   report shape. *)
 
-exception Step_limit_exceeded of int
+exception Deadlock = Semantics.Deadlock
 
-let () =
-  Printexc.register_printer (function
-    | Deadlock msg -> Some (Printf.sprintf "Agp_core.Runtime.Deadlock(%S)" msg)
-    | Step_limit_exceeded n -> Some (Printf.sprintf "Agp_core.Runtime.Step_limit_exceeded(%d)" n)
-    | _ -> None)
+exception Step_limit_exceeded = Semantics.Step_limit_exceeded
 
 type report = {
   tasks_run : int;
@@ -19,71 +21,15 @@ type report = {
 }
 
 let run ?(initial = []) ?(workers = 8) ?(max_steps = 100_000_000) sp bindings st =
-  if workers < 1 then invalid_arg "Runtime.run: workers must be positive";
-  let eng = Engine.create sp bindings st in
-  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
-  let slots : Engine.task option array = Array.make workers None in
-  let resumable = Queue.create () in
-  let tasks_run = ref 0 in
-  let steps = ref 0 in
-  let max_concurrency = ref 0 in
-  let total_busy = ref 0 in
-  let max_waiting = ref 0 in
-  let occupied () = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 slots in
-  while Engine.uncommitted_remaining eng do
-    incr steps;
-    if !steps > max_steps then raise (Step_limit_exceeded max_steps);
-    (* Fill idle workers: resumed tasks take priority over fresh pops
-       (they are already deep in the pipeline). *)
-    let progressed = ref false in
-    for w = 0 to workers - 1 do
-      if slots.(w) = None then begin
-        if not (Queue.is_empty resumable) then slots.(w) <- Some (Queue.pop resumable)
-        else slots.(w) <- Engine.pop_any eng
-      end
-    done;
-    let busy_now = occupied () in
-    total_busy := !total_busy + busy_now;
-    max_concurrency := max !max_concurrency busy_now;
-    (* One operation per busy worker per tick. *)
-    for w = 0 to workers - 1 do
-      match slots.(w) with
-      | None -> ()
-      | Some task -> begin
-          match Engine.step eng task with
-          | Engine.Stepped -> progressed := true
-          | Engine.Blocked ->
-              progressed := true;
-              slots.(w) <- None;
-              Engine.resolve_pending eng
-          | Engine.Finished _ ->
-              progressed := true;
-              incr tasks_run;
-              slots.(w) <- None;
-              Engine.resolve_pending eng
-        end
-    done;
-    max_waiting := max !max_waiting (List.length (Engine.waiting_tasks eng));
-    (* Wake tasks whose rendezvous resolved. *)
-    List.iter (fun task -> Queue.push task resumable) (Engine.resume_ready eng);
-    if (not !progressed) && Queue.is_empty resumable then begin
-      (* Nothing ran and nothing woke: either only parked tasks remain
-         (give the minimum-task machinery a chance) or the spec is
-         deadlocked. *)
-      Engine.resolve_pending eng;
-      let woke = Engine.resume_ready eng in
-      List.iter (fun task -> Queue.push task resumable) woke;
-      if woke = [] && Engine.deadlocked eng then
-        raise (Deadlock "Runtime.run: deadlock — a rule lacks a viable exit path")
-    end
-  done;
+  let r =
+    Semantics.run ~initial (Semantics.pipelined ~workers ~max_steps ()) sp bindings st
+  in
   {
-    tasks_run = !tasks_run;
-    steps = !steps;
-    max_concurrency = !max_concurrency;
-    max_waiting = !max_waiting;
-    avg_busy =
-      (if !steps = 0 then 0.0 else float_of_int !total_busy /. float_of_int !steps);
-    stats = Engine.stats eng;
-    prim_counts = Engine.prim_counts eng;
+    tasks_run = r.Semantics.tasks_run;
+    steps = r.Semantics.steps;
+    max_concurrency = r.Semantics.max_concurrency;
+    max_waiting = r.Semantics.max_waiting;
+    avg_busy = r.Semantics.avg_busy;
+    stats = r.Semantics.stats;
+    prim_counts = r.Semantics.prim_counts;
   }

@@ -1,0 +1,337 @@
+(* One semantics, many interpretations.
+
+   The small-step ECA-rule semantics lives in {!Engine}; what used to
+   distinguish Sequential / Runtime / Parallel_runtime / Trace /
+   Cpu_model was five hand-written driver loops around it, each free to
+   drift.  This module is the single driver, parameterized over an
+   {!interpretation} record: a {!policy} (which scheduling discipline
+   feeds tasks to the stepper) plus {!hooks} (effect observers fired at
+   every lifecycle transition).  A substrate is now a record, not a
+   reimplementation — the legacy modules are thin adapters over {!run},
+   and a new backend (tracing, profiling, counting, future cost-model
+   evaluators) is an interpretation record away. *)
+
+(* Typed liveness failures.  Historically these were born in [Runtime]
+   and the whole repo matches on [Runtime.Deadlock] /
+   [Runtime.Step_limit_exceeded]; [Runtime] now re-exports these very
+   constructors (OCaml exception rebinding), so both names are the same
+   exception and every existing handler keeps working. *)
+exception Deadlock of string
+
+exception Step_limit_exceeded of int
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock msg -> Some (Printf.sprintf "Agp_core.Runtime.Deadlock(%S)" msg)
+    | Step_limit_exceeded n -> Some (Printf.sprintf "Agp_core.Runtime.Step_limit_exceeded(%d)" n)
+    | _ -> None)
+
+type step_event =
+  | Acquired
+  | Resumed
+  | Executed of Spec.op
+  | Blocked_on of string
+  | Finished of Engine.outcome
+
+type hooks = { on_event : tick:int -> worker:int -> Engine.task -> step_event -> unit }
+
+let null_hooks = { on_event = (fun ~tick:_ ~worker:_ _ _ -> ()) }
+
+type policy =
+  | Min_first of { max_tasks : int }
+  | Workers of { workers : int; max_steps : int }
+  | Domains of { domains : int option }
+
+type interpretation = {
+  descr : string;
+  policy : policy;
+  hooks : hooks;
+}
+
+type report = {
+  tasks_run : int;
+  steps : int;
+  max_concurrency : int;
+  max_waiting : int;
+  avg_busy : float;
+  domains_used : int;
+  stats : Engine.stats;
+  prim_counts : (string * int) list;
+}
+
+let oracle ?(max_tasks = 10_000_000) () =
+  { descr = "Sequential.run"; policy = Min_first { max_tasks }; hooks = null_hooks }
+
+let pipelined ?(workers = 8) ?(max_steps = 100_000_000) () =
+  { descr = "Runtime.run"; policy = Workers { workers; max_steps }; hooks = null_hooks }
+
+let multicore ?domains () =
+  { descr = "Parallel_runtime.run"; policy = Domains { domains }; hooks = null_hooks }
+
+let with_hooks interp hooks = { interp with hooks }
+
+let with_descr interp descr = { interp with descr }
+
+let head_op (task : Engine.task) =
+  match task.Engine.cont with
+  | op :: _ -> Some op
+  | [] -> None
+
+let blocked_handle head =
+  match head with
+  | Some (Spec.Await (_, h)) -> h
+  | _ -> ""
+
+(* --- Min_first: Definition 4.3, always run the minimum active task.
+   Structurally Engine.run_to_completion + the legacy Sequential loop,
+   with hooks at every transition. *)
+let run_min_first ~descr ~max_tasks ~hooks eng =
+  let tasks_run = ref 0 in
+  let op_count = ref 0 in
+  let fire task ev = hooks.on_event ~tick:!op_count ~worker:0 task ev in
+  let drive (task : Engine.task) =
+    let rec go () =
+      let head = head_op task in
+      match Engine.step eng task with
+      | Engine.Stepped ->
+          incr op_count;
+          (match head with Some op -> fire task (Executed op) | None -> ());
+          go ()
+      | Engine.Finished outcome ->
+          incr op_count;
+          fire task (Finished outcome);
+          Engine.resolve_pending eng
+      | Engine.Blocked -> begin
+          incr op_count;
+          fire task (Blocked_on (blocked_handle head));
+          Engine.resolve_pending eng;
+          match Engine.resume_ready eng with
+          | [] ->
+              failwith
+                (Printf.sprintf "Engine: sequential deadlock at task %s of set %d"
+                   (Index.to_string task.Engine.index) task.Engine.set_slot)
+          | woke ->
+              (* the running task is minimal, so it is what wakes *)
+              List.iter (fun t -> fire t Resumed) woke;
+              go ()
+        end
+    in
+    go ()
+  in
+  let rec loop () =
+    if !tasks_run > max_tasks then failwith (descr ^ ": task budget exceeded");
+    match Engine.pop_min eng with
+    | None -> ()
+    | Some task ->
+        incr tasks_run;
+        fire task Acquired;
+        drive task;
+        loop ()
+  in
+  loop ();
+  {
+    tasks_run = !tasks_run;
+    steps = !op_count;
+    max_concurrency = (if !tasks_run > 0 then 1 else 0);
+    max_waiting = 0;
+    avg_busy = (if !op_count > 0 then 1.0 else 0.0);
+    domains_used = 0;
+    stats = Engine.stats eng;
+    prim_counts = Engine.prim_counts eng;
+  }
+
+(* --- Workers: the aggressive software runtime of §4.4.  A fixed pool
+   of abstract workers, deterministic op-by-op interleaving; resumed
+   tasks take slot priority over fresh pops (they are already deep in
+   the pipeline).  Trace capture is this policy plus recording hooks —
+   the hooks fire at exactly the points the legacy tracer recorded, so
+   a traced run keeps the same schedule as an untraced one. *)
+let run_workers ~descr ~workers ~max_steps ~hooks eng =
+  if workers < 1 then invalid_arg (descr ^ ": workers must be positive");
+  let slots : Engine.task option array = Array.make workers None in
+  let resumable = Queue.create () in
+  let tasks_run = ref 0 in
+  let steps = ref 0 in
+  let max_concurrency = ref 0 in
+  let total_busy = ref 0 in
+  let max_waiting = ref 0 in
+  let fire w task ev = hooks.on_event ~tick:!steps ~worker:w task ev in
+  let occupied () = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 slots in
+  while Engine.uncommitted_remaining eng do
+    incr steps;
+    if !steps > max_steps then raise (Step_limit_exceeded max_steps);
+    let progressed = ref false in
+    for w = 0 to workers - 1 do
+      if slots.(w) = None then begin
+        if not (Queue.is_empty resumable) then begin
+          let task = Queue.pop resumable in
+          fire w task Resumed;
+          slots.(w) <- Some task
+        end
+        else
+          match Engine.pop_any eng with
+          | Some task ->
+              fire w task Acquired;
+              slots.(w) <- Some task
+          | None -> ()
+      end
+    done;
+    let busy_now = occupied () in
+    total_busy := !total_busy + busy_now;
+    max_concurrency := max !max_concurrency busy_now;
+    (* One operation per busy worker per tick. *)
+    for w = 0 to workers - 1 do
+      match slots.(w) with
+      | None -> ()
+      | Some task -> begin
+          let head = head_op task in
+          match Engine.step eng task with
+          | Engine.Stepped ->
+              progressed := true;
+              (match head with Some op -> fire w task (Executed op) | None -> ())
+          | Engine.Blocked ->
+              progressed := true;
+              fire w task (Blocked_on (blocked_handle head));
+              slots.(w) <- None;
+              Engine.resolve_pending eng
+          | Engine.Finished outcome ->
+              progressed := true;
+              incr tasks_run;
+              fire w task (Finished outcome);
+              slots.(w) <- None;
+              Engine.resolve_pending eng
+        end
+    done;
+    max_waiting := max !max_waiting (List.length (Engine.waiting_tasks eng));
+    (* Wake tasks whose rendezvous resolved. *)
+    List.iter (fun task -> Queue.push task resumable) (Engine.resume_ready eng);
+    if (not !progressed) && Queue.is_empty resumable then begin
+      (* Nothing ran and nothing woke: either only parked tasks remain
+         (give the minimum-task machinery a chance) or the spec is
+         deadlocked. *)
+      Engine.resolve_pending eng;
+      let woke = Engine.resume_ready eng in
+      List.iter (fun task -> Queue.push task resumable) woke;
+      if woke = [] && Engine.deadlocked eng then
+        raise (Deadlock (descr ^ ": deadlock — a rule lacks a viable exit path"))
+    end
+  done;
+  {
+    tasks_run = !tasks_run;
+    steps = !steps;
+    max_concurrency = !max_concurrency;
+    max_waiting = !max_waiting;
+    avg_busy =
+      (if !steps = 0 then 0.0 else float_of_int !total_busy /. float_of_int !steps);
+    domains_used = 0;
+    stats = Engine.stats eng;
+    prim_counts = Engine.prim_counts eng;
+  }
+
+(* --- Domains: genuinely multicore, OCaml 5 domains over the shared
+   engine guarded by one lock.  Each domain repeatedly: take the lock,
+   acquire a task (resumed first), run it op-by-op under the lock until
+   it blocks or finishes, then release.  Holding the lock across a
+   whole task slice keeps engine invariants simple; parallelism across
+   domains comes from the slices interleaving at block/finish
+   boundaries and from the OS overlapping the lock-free tails.  Hooks
+   fire under the lock; [tick] is a global transition counter and
+   [worker] the domain number, so counting/profiling interpretations
+   observe a coherent stream even though the schedule is
+   nondeterministic. *)
+let run_domains ~descr ~domains ~hooks eng =
+  let n_domains =
+    match domains with
+    | Some n -> max 1 n
+    | None -> min 4 (Domain.recommended_domain_count ())
+  in
+  let lock = Mutex.create () in
+  let resumable : Engine.task Queue.t = Queue.create () in
+  let tasks_run = Atomic.make 0 in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let ticks = ref 0 (* mutated under the lock only *) in
+  let worker wid () =
+    let fire task ev =
+      incr ticks;
+      hooks.on_event ~tick:!ticks ~worker:wid task ev
+    in
+    let idle_spins = ref 0 in
+    let running = ref true in
+    while !running && Atomic.get failure = None do
+      Mutex.lock lock;
+      let task =
+        if not (Queue.is_empty resumable) then Some (Queue.pop resumable, true)
+        else
+          match Engine.pop_any eng with
+          | Some t -> Some (t, false)
+          | None -> None
+      in
+      begin
+        match task with
+        | Some (task, resumed) -> begin
+            idle_spins := 0;
+            fire task (if resumed then Resumed else Acquired);
+            let rec slice () =
+              let head = head_op task in
+              match Engine.step eng task with
+              | Engine.Stepped ->
+                  (match head with Some op -> fire task (Executed op) | None -> ());
+                  slice ()
+              | Engine.Blocked ->
+                  fire task (Blocked_on (blocked_handle head));
+                  Engine.resolve_pending eng;
+                  List.iter (fun t -> Queue.push t resumable) (Engine.resume_ready eng)
+              | Engine.Finished outcome ->
+                  fire task (Finished outcome);
+                  Atomic.incr tasks_run;
+                  Engine.resolve_pending eng;
+                  List.iter (fun t -> Queue.push t resumable) (Engine.resume_ready eng)
+            in
+            (try slice () with e -> Atomic.set failure (Some e))
+          end
+        | None ->
+            if not (Engine.uncommitted_remaining eng) then running := false
+            else begin
+              (* nothing runnable here: give the minimum-task machinery
+                 a chance, then back off *)
+              Engine.resolve_pending eng;
+              List.iter (fun t -> Queue.push t resumable) (Engine.resume_ready eng);
+              incr idle_spins;
+              if !idle_spins > 1_000_000 then begin
+                if Engine.deadlocked eng then
+                  Atomic.set failure (Some (Deadlock (descr ^ ": deadlock in rule resolution")))
+              end
+            end
+      end;
+      Mutex.unlock lock;
+      if task = None then Domain.cpu_relax ()
+    done
+  in
+  let spawned = List.init (n_domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  begin
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None -> ()
+  end;
+  {
+    tasks_run = Atomic.get tasks_run;
+    steps = !ticks;
+    max_concurrency = 0;
+    max_waiting = 0;
+    avg_busy = 0.0;
+    domains_used = n_domains;
+    stats = Engine.stats eng;
+    prim_counts = Engine.prim_counts eng;
+  }
+
+let run ?(initial = []) interp sp bindings st =
+  let eng = Engine.create sp bindings st in
+  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
+  match interp.policy with
+  | Min_first { max_tasks } ->
+      run_min_first ~descr:interp.descr ~max_tasks ~hooks:interp.hooks eng
+  | Workers { workers; max_steps } ->
+      run_workers ~descr:interp.descr ~workers ~max_steps ~hooks:interp.hooks eng
+  | Domains { domains } -> run_domains ~descr:interp.descr ~domains ~hooks:interp.hooks eng

@@ -1,3 +1,8 @@
+(* The sequential reference substrate: Definition 4.3's minimum-first
+   schedule, now expressed as the {!Semantics.oracle} interpretation.
+   This module only adapts the report shape; the loop lives in
+   {!Semantics}. *)
+
 type report = {
   tasks_run : int;
   stats : Engine.stats;
@@ -5,18 +10,9 @@ type report = {
 }
 
 let run ?(initial = []) ?(max_tasks = 10_000_000) sp bindings st =
-  let eng = Engine.create sp bindings st in
-  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
-  let tasks_run = ref 0 in
-  (* Definition 4.3: always run the minimum active task. *)
-  let rec loop () =
-    if !tasks_run > max_tasks then failwith "Sequential.run: task budget exceeded";
-    match Engine.pop_min eng with
-    | None -> ()
-    | Some task ->
-        incr tasks_run;
-        ignore (Engine.run_to_completion eng task);
-        loop ()
-  in
-  loop ();
-  { tasks_run = !tasks_run; stats = Engine.stats eng; prim_counts = Engine.prim_counts eng }
+  let r = Semantics.run ~initial (Semantics.oracle ~max_tasks ()) sp bindings st in
+  {
+    tasks_run = r.Semantics.tasks_run;
+    stats = r.Semantics.stats;
+    prim_counts = r.Semantics.prim_counts;
+  }

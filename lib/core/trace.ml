@@ -36,12 +36,11 @@ let op_descriptor (op : Spec.op) =
   | Spec.Retry -> "retry"
   | Spec.Prim (_, name, _) -> "prim " ^ name
 
-(* A re-run of the Runtime scheduling loop with recording.  The loop is
-   kept structurally identical to Runtime.run so a traced execution has
-   the same schedule as an untraced one. *)
+(* Tracing is the {!Semantics.pipelined} interpretation plus recording
+   hooks: the scheduler is the very loop [Runtime.run] uses, so a
+   traced execution has the same schedule as an untraced one by
+   construction, not by keeping two copies of the loop in sync. *)
 let run ?(initial = []) ?(workers = 4) ?(max_entries = 100_000) sp bindings st =
-  let eng = Engine.create sp bindings st in
-  List.iter (fun (set, payload) -> Engine.push_initial eng set payload) initial;
   let entries = ref [] in
   let n_entries = ref 0 in
   let set_name slot = (List.nth sp.Spec.task_sets slot).Spec.ts_name in
@@ -60,100 +59,45 @@ let run ?(initial = []) ?(workers = 4) ?(max_entries = 100_000) sp bindings st =
         :: !entries
     end
   in
-  let slots : Engine.task option array = Array.make workers None in
-  let resumable = Queue.create () in
-  let tasks_run = ref 0 in
-  let steps = ref 0 in
-  let max_concurrency = ref 0 in
-  let total_busy = ref 0 in
-  let max_waiting = ref 0 in
-  let occupied () = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 slots in
-  while Engine.uncommitted_remaining eng do
-    incr steps;
-    if !steps > 50_000_000 then failwith "Trace.run: step budget exceeded";
-    let progressed = ref false in
-    for w = 0 to workers - 1 do
-      if slots.(w) = None then begin
-        if not (Queue.is_empty resumable) then begin
-          let task, verdict = Queue.pop resumable in
-          record !steps w task (Resumed verdict);
-          slots.(w) <- Some task
-        end
-        else begin
-          match Engine.pop_any eng with
-          | Some task ->
-              record !steps w task Started;
-              slots.(w) <- Some task
-          | None -> ()
-        end
-      end
-    done;
-    let busy = occupied () in
-    total_busy := !total_busy + busy;
-    max_concurrency := max !max_concurrency busy;
-    for w = 0 to workers - 1 do
-      match slots.(w) with
-      | None -> ()
-      | Some task -> begin
-          let descr =
-            match task.Engine.cont with
-            | op :: _ -> op_descriptor op
-            | [] -> "commit"
-          in
-          let handle =
-            match task.Engine.cont with
-            | Spec.Await (_, h) :: _ -> h
-            | _ -> ""
-          in
-          match Engine.step eng task with
-          | Engine.Stepped ->
-              progressed := true;
-              record !steps w task (Executed descr)
-          | Engine.Blocked ->
-              progressed := true;
-              record !steps w task (Blocked_at handle);
-              slots.(w) <- None;
-              Engine.resolve_pending eng
-          | Engine.Finished outcome ->
-              progressed := true;
-              incr tasks_run;
-              record !steps w task
+  let hooks =
+    {
+      Semantics.on_event =
+        (fun ~tick ~worker task ev ->
+          match ev with
+          | Semantics.Acquired -> record tick worker task Started
+          | Semantics.Resumed ->
+              (* the rendezvous verdict the wake bound into the frame *)
+              let verdict =
+                match Hashtbl.find_opt task.Engine.env "ok" with
+                | Some (Value.Bool b) -> b
+                | Some _ | None -> true
+              in
+              record tick worker task (Resumed verdict)
+          | Semantics.Executed op -> record tick worker task (Executed (op_descriptor op))
+          | Semantics.Blocked_on h -> record tick worker task (Blocked_at h)
+          | Semantics.Finished outcome ->
+              record tick worker task
                 (match outcome with
                 | Engine.Committed_task -> Committed
                 | Engine.Aborted_task -> Aborted
-                | Engine.Retried_task -> Retried);
-              slots.(w) <- None;
-              Engine.resolve_pending eng
-        end
-    done;
-    max_waiting := max !max_waiting (List.length (Engine.waiting_tasks eng));
-    List.iter
-      (fun (task : Engine.task) ->
-        let verdict =
-          match Hashtbl.find_opt task.Engine.env "ok" with
-          | Some (Value.Bool b) -> b
-          | Some _ | None -> true
-        in
-        Queue.push (task, verdict) resumable)
-      (Engine.resume_ready eng);
-    if (not !progressed) && Queue.is_empty resumable then begin
-      Engine.resolve_pending eng;
-      let woke = Engine.resume_ready eng in
-      List.iter (fun task -> Queue.push (task, true) resumable) woke;
-      if woke = [] && Engine.deadlocked eng then
-        failwith "Trace.run: deadlock — a rule lacks a viable exit path"
-    end
-  done;
+                | Engine.Retried_task -> Retried));
+    }
+  in
+  let interp =
+    Semantics.with_descr
+      (Semantics.with_hooks (Semantics.pipelined ~workers ~max_steps:50_000_000 ()) hooks)
+      "Trace.run"
+  in
+  let r = Semantics.run ~initial interp sp bindings st in
   let report : Runtime.report =
     {
-      Runtime.tasks_run = !tasks_run;
-      steps = !steps;
-      max_concurrency = !max_concurrency;
-      max_waiting = !max_waiting;
-      avg_busy =
-        (if !steps = 0 then 0.0 else float_of_int !total_busy /. float_of_int !steps);
-      stats = Engine.stats eng;
-      prim_counts = Engine.prim_counts eng;
+      Runtime.tasks_run = r.Semantics.tasks_run;
+      steps = r.Semantics.steps;
+      max_concurrency = r.Semantics.max_concurrency;
+      max_waiting = r.Semantics.max_waiting;
+      avg_busy = r.Semantics.avg_busy;
+      stats = r.Semantics.stats;
+      prim_counts = r.Semantics.prim_counts;
     }
   in
   { entries = List.rev !entries; report }

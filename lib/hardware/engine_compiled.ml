@@ -29,6 +29,7 @@ module Index = Agp_core.Index
 module State = Agp_core.State
 module Opcode = Agp_core.Opcode
 module Engine = Agp_core.Engine
+module Binop = Agp_core.Binop
 module Bdfg = Agp_dataflow.Bdfg
 module Vec = Agp_util.Vec
 module Sink = Agp_obs.Sink
@@ -265,126 +266,43 @@ let rec idx_cmp_from (a : int array) (b : int array) n i =
 
 let idx_cmp (a : int array) (b : int array) = idx_cmp_from a b (Array.length a) 0
 
-(* --- value helpers replicating Interp/Value error strings --- *)
+(* --- value helpers replicating Interp/Value error strings ---
 
-let vstr tg i f = if tg = tg_int then string_of_int i else if tg = tg_float then Printf.sprintf "%g" f else if i <> 0 then "true" else "false"
+   The binop table itself and the cold raisers now live in
+   {!Agp_core.Binop}, shared with the tree-walking [Interp] so the two
+   evaluators cannot drift; the local tag constants above are the same
+   encoding (asserted below) and stay literal so ocamlopt keeps
+   propagating them as immediates in the hot tag checks. *)
+
+let () =
+  assert (
+    tg_int = Binop.tg_int
+    && tg_float = Binop.tg_float
+    && tg_bool = Binop.tg_bool
+    && tg_unbound = Binop.tg_unbound)
+
+let vstr = Binop.vstr
 
 (* cold raising helpers: callers check the tag inline so the hot path
    never passes a float across a function boundary (OCaml boxes float
    arguments of non-inlined calls, which was the engine's dominant
    steady-state allocation) *)
-let bool_type_error tg i f = invalid_arg ("Value.to_bool: " ^ vstr tg i f)
+let bool_type_error = Binop.bool_type_error
 
-let int_type_error tg i f = invalid_arg ("Value.to_int: " ^ vstr tg i f)
+let int_type_error = Binop.int_type_error
 
-let truthy_type_error tg i f = invalid_arg ("Value.truthy: " ^ vstr tg i f)
+let truthy_type_error = Binop.truthy_type_error
 
-let arith_error op = invalid_arg ("Interp: bad operands for " ^ op)
+let arith_error = Binop.arith_error
 
 (* out-of-range CParam/CField probe: the clause does not match *)
 exception Oor
-
-let icompare (x : int) y = if x < y then -1 else if x > y then 1 else 0
 
 (* int-typed max/min: the polymorphic [Stdlib.max] calls the generic
    comparison out-of-line on every use *)
 let imax (a : int) b = if a >= b then a else b
 
 let imin (a : int) b = if a <= b then a else b
-
-(* binop over stack slots a (result) and b; replicates
-   Interp.eval_binop's promotion rules and error strings exactly.
-   Written as one flat match — no local closures, so the hot clause
-   and expression evaluators allocate nothing here. *)
-let do_binop en (op : Spec.binop) a b =
-  let ti = en.st_tg.(a) and tj = en.st_tg.(b) in
-  match op with
-  | Spec.Add | Spec.Sub | Spec.Mul | Spec.Div | Spec.Rem | Spec.Min | Spec.Max ->
-      if op = Spec.Rem then begin
-        if ti = tg_int && tj = tg_int then begin
-          if en.st_i.(b) = 0 then invalid_arg "Interp: modulo by zero"
-          else begin
-            en.st_i.(a) <- en.st_i.(a) mod en.st_i.(b);
-            en.st_tg.(a) <- tg_int
-          end
-        end
-        else arith_error "rem"
-      end
-      else if op = Spec.Div && tj = tg_int && en.st_i.(b) = 0 then
-        invalid_arg "Interp: division by zero"
-      else if op = Spec.Div && tj = tg_bool then arith_error "division"
-      else if ti = tg_int && tj = tg_int then begin
-        let x = en.st_i.(a) and y = en.st_i.(b) in
-        en.st_i.(a) <-
-          (match op with
-          | Spec.Add -> x + y
-          | Spec.Sub -> x - y
-          | Spec.Mul -> x * y
-          | Spec.Div -> x / y
-          | Spec.Min -> if x <= y then x else y
-          | _ -> if x >= y then x else y);
-        en.st_tg.(a) <- tg_int
-      end
-      else if ti = tg_bool || tj = tg_bool then arith_error "arithmetic"
-      else begin
-        let x = if ti = tg_int then float_of_int en.st_i.(a) else en.st_f.(a) in
-        let y = if tj = tg_int then float_of_int en.st_i.(b) else en.st_f.(b) in
-        en.st_f.(a) <-
-          (match op with
-          | Spec.Add -> x +. y
-          | Spec.Sub -> x -. y
-          | Spec.Mul -> x *. y
-          | Spec.Div -> x /. y
-          | Spec.Min -> if x <= y then x else y
-          | _ -> if x >= y then x else y);
-        en.st_tg.(a) <- tg_float
-      end
-  | Spec.Eq | Spec.Ne | Spec.Lt | Spec.Le | Spec.Gt | Spec.Ge ->
-      let c =
-        if ti = tg_bool && tj = tg_bool then
-          icompare (if en.st_i.(a) <> 0 then 1 else 0) (if en.st_i.(b) <> 0 then 1 else 0)
-        else if ti = tg_bool || tj = tg_bool then arith_error "comparison"
-        else if ti = tg_int && tj = tg_int then icompare en.st_i.(a) en.st_i.(b)
-        else begin
-          (* total-order float compare, inline: [compare] only on the
-             NaN path so nothing is boxed in steady state *)
-          let x = if ti = tg_int then float_of_int en.st_i.(a) else en.st_f.(a) in
-          let y = if tj = tg_int then float_of_int en.st_i.(b) else en.st_f.(b) in
-          if x < y then -1 else if x > y then 1 else if x = y then 0 else compare x y
-        end
-      in
-      let v =
-        match op with
-        | Spec.Eq -> c = 0
-        | Spec.Ne -> c <> 0
-        | Spec.Lt -> c < 0
-        | Spec.Le -> c <= 0
-        | Spec.Gt -> c > 0
-        | _ -> c >= 0
-      in
-      en.st_i.(a) <- (if v then 1 else 0);
-      en.st_tg.(a) <- tg_bool
-  | Spec.And ->
-      if ti <> tg_bool then bool_type_error ti en.st_i.(a) en.st_f.(a);
-      let v =
-        en.st_i.(a) <> 0
-        &&
-        if tj <> tg_bool then bool_type_error tj en.st_i.(b) en.st_f.(b)
-        else en.st_i.(b) <> 0
-      in
-      en.st_i.(a) <- (if v then 1 else 0);
-      en.st_tg.(a) <- tg_bool
-  | Spec.Or ->
-      if ti <> tg_bool then bool_type_error ti en.st_i.(a) en.st_f.(a);
-      let v =
-        en.st_i.(a) <> 0
-        ||
-        if tj <> tg_bool then bool_type_error tj en.st_i.(b) en.st_f.(b)
-        else en.st_i.(b) <> 0
-      in
-      en.st_i.(a) <- (if v then 1 else 0);
-      en.st_tg.(a) <- tg_bool
-
 
 (* evaluate postfix bytecode; the result lands in stack slot 0.
    [tk] supplies Param/Var frames; [inst] supplies rule params for
@@ -443,7 +361,9 @@ let rec eval_ops en (tk : ctask) (inst : cinst) (code : Opcode.eop array) n k sp
           en.st_tg.(sp) <- tk.reg_tg.(r);
           sp + 1
       | Opcode.E_binop op ->
-          do_binop en op (sp - 2) (sp - 1);
+          (* the shared semantics table (Agp_core.Binop): direct call on
+             arrays + int slots, nothing boxed *)
+          Binop.exec en.st_i en.st_f en.st_tg op (sp - 2) (sp - 1);
           sp - 1
       | Opcode.E_not ->
           let a = sp - 1 in

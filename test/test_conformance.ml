@@ -10,6 +10,10 @@ module Conformance = Agp_backend.Conformance
 module Workloads = Agp_exp.Workloads
 module App_instance = Agp_apps.App_instance
 module Runtime = Agp_core.Runtime
+module Semantics = Agp_core.Semantics
+module Spec = Agp_core.Spec
+module Value = Agp_core.Value
+module State = Agp_core.State
 
 (* Result-deterministic apps: the committed state is a function of the
    input alone (unique BFS levels; SSSP distances on distinct random
@@ -20,12 +24,10 @@ module Runtime = Agp_core.Runtime
 let state_deterministic (app : App_instance.t) =
   List.mem app.App_instance.app_name [ "SPEC-BFS"; "COOR-BFS"; "SPEC-SSSP" ]
 
-(* Satellite: the domains runtime is exercised at 1, 2 and 4 domains,
-   not just the default, inside the same differential harness. *)
-let backends_under_test =
-  Conformance.mutating Backend.all
-  @ [ Backend.parallel ~domains:1 (); Backend.parallel ~domains:2 ();
-      Backend.parallel ~domains:4 () ]
+(* The backends-under-test set is derived from the registry itself
+   (every validating backend plus pinned parallel:1/2/4 instances) —
+   registering a backend opts it into conformance automatically. *)
+let backends_under_test = Conformance.matrix_backends ()
 
 let test_matrix () =
   let apps = Workloads.all Workloads.Small ~seed:7 in
@@ -38,6 +40,12 @@ let test_matrix () =
   (match Conformance.failing rows with
   | [] -> ()
   | bad -> Alcotest.failf "non-conforming cells:\n%s" (Conformance.render bad));
+  (* no registered validating backend may silently opt out of the matrix *)
+  (match Conformance.missing_from rows with
+  | [] -> ()
+  | missing ->
+      Alcotest.failf "validating backends missing from the matrix: %s"
+        (String.concat ", " (List.map (fun (b : Backend.t) -> b.Backend.name) missing)));
   (* the matrix must not silently skip a mutating backend *)
   List.iter
     (fun r ->
@@ -109,16 +117,9 @@ let test_registry_find () =
   check
     Alcotest.(list string)
     "registry order"
-    [
-      "sequential";
-      "runtime";
-      "parallel";
-      "simulator";
-      "simulator:classic";
-      "cpu-1core";
-      "cpu-10core";
-      "opencl";
-    ]
+    ([ "sequential"; "runtime"; "parallel"; "simulator" ]
+    @ (if Backend.classic_enabled then [ "simulator:classic" ] else [])
+    @ [ "cpu-1core"; "cpu-10core"; "opencl" ])
     Backend.names;
   let name s =
     match Backend.find s with
@@ -129,8 +130,17 @@ let test_registry_find () =
   check Alcotest.string "fpga aliases simulator" "simulator" (name "fpga");
   check Alcotest.string "compiled engine is the default simulator" "simulator"
     (name "simulator:compiled");
-  check Alcotest.string "legacy engine stays addressable" "simulator:classic"
-    (name "simulator:classic");
+  (* satellite: simulator:classic is retired from the default registry;
+     AGP_CLASSIC=1 is the one-release escape hatch *)
+  (if Backend.classic_enabled then
+     check Alcotest.string "escape hatch re-registers the legacy engine" "simulator:classic"
+       (name "simulator:classic")
+   else
+     match Backend.find "simulator:classic" with
+     | Ok _ -> Alcotest.fail "simulator:classic resolved without AGP_CLASSIC=1"
+     | Error e ->
+         check Alcotest.bool "retirement message names the escape hatch" true
+           (Astring.String.is_infix ~affix:"AGP_CLASSIC=1" e));
   check Alcotest.string "parameterized workers" "runtime:3" (name "runtime:3");
   check Alcotest.string "parameterized domains" "parallel:2" (name "parallel:2");
   List.iter
@@ -220,7 +230,299 @@ let test_engine_equivalence_random =
               QCheck.Test.fail_reportf "seed %d, %s:\n%s" seed app.App_instance.app_name msg)
         (Workloads.all Workloads.Small ~seed))
 
+(* --- one binop table (satellite): random expressions must evaluate
+   bit-for-bit identically under the tree-walking interpreter and the
+   compiled op-array engine — including the error cases, whose
+   messages now come from the single Agp_core.Binop table --- *)
+
+let binop_str (op : Spec.binop) =
+  match op with
+  | Spec.Add -> "+"
+  | Spec.Sub -> "-"
+  | Spec.Mul -> "*"
+  | Spec.Div -> "/"
+  | Spec.Rem -> "%"
+  | Spec.Min -> "min"
+  | Spec.Max -> "max"
+  | Spec.Eq -> "=="
+  | Spec.Ne -> "!="
+  | Spec.Lt -> "<"
+  | Spec.Le -> "<="
+  | Spec.Gt -> ">"
+  | Spec.Ge -> ">="
+  | Spec.And -> "&&"
+  | Spec.Or -> "||"
+
+let rec expr_str (e : Spec.expr) =
+  match e with
+  | Spec.Const v -> Value.to_string v
+  | Spec.Param i -> Printf.sprintf "p%d" i
+  | Spec.Var v -> v
+  | Spec.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Spec.Not e -> "!" ^ expr_str e
+  | Spec.Neg e -> "-" ^ expr_str e
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Value.Int n) (int_range (-4) 4);
+        map (fun f -> Value.Float f) (oneofl [ -2.5; -1.0; 0.0; 0.5; 1.0; 3.25 ]);
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let binop_gen =
+  QCheck.Gen.oneofl
+    Spec.[ Add; Sub; Mul; Div; Rem; Min; Max; Eq; Ne; Lt; Le; Gt; Ge; And; Or ]
+
+let expr_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneof
+               [
+                 map (fun v -> Spec.Const v) value_gen;
+                 map (fun i -> Spec.Param i) (int_range 0 3);
+               ]
+           else
+             frequency
+               [
+                 (1, map (fun v -> Spec.Const v) value_gen);
+                 (1, map (fun i -> Spec.Param i) (int_range 0 3));
+                 ( 4,
+                   map3
+                     (fun op a b -> Spec.Binop (op, a, b))
+                     binop_gen
+                     (self (n / 2))
+                     (self (n / 2)) );
+                 (1, map (fun e -> Spec.Not e) (self (n - 1)));
+                 (1, map (fun e -> Spec.Neg e) (self (n - 1)));
+               ]))
+
+let expr_case =
+  QCheck.make
+    ~print:(fun (e, payload) ->
+      Printf.sprintf "%s on [%s]" (expr_str e)
+        (String.concat "; " (List.map Value.to_string payload)))
+    QCheck.Gen.(pair expr_gen (list_size (return 4) value_gen))
+
+let expr_spec e : Spec.t =
+  {
+    Spec.spec_name = "binop-eq";
+    task_sets =
+      [
+        {
+          Spec.ts_name = "t";
+          ts_order = Spec.For_each;
+          arity = 4;
+          body = [ Spec.Store ("out", Spec.int 0, e) ];
+        };
+      ];
+    rules = [];
+  }
+
+(* The out cell is a float array: Int stores widen (identically in both
+   engines), Bool stores raise State's type mismatch, and float results
+   land with their exact bits. *)
+let eval_tree sp payload =
+  let st = State.create () in
+  State.add_float_array st "out" [| 0.0 |];
+  match Agp_core.Sequential.run ~initial:[ ("t", payload) ] sp Spec.no_bindings st with
+  | _ -> Ok (Int64.bits_of_float (State.float_array st "out").(0))
+  | exception e -> Error (Printexc.to_string e)
+
+let eval_compiled sp payload =
+  let st = State.create () in
+  State.add_float_array st "out" [| 0.0 |];
+  match
+    Accelerator.run ~engine:Accelerator.Compiled ~spec:sp ~bindings:Spec.no_bindings
+      ~state:st ~initial:[ ("t", payload) ] ()
+  with
+  | _ -> Ok (Int64.bits_of_float (State.float_array st "out").(0))
+  | exception e -> Error (Printexc.to_string e)
+
+let outcome_str = function
+  | Ok bits -> Printf.sprintf "Ok %.17g (bits %Lx)" (Int64.float_of_bits bits) bits
+  | Error e -> "Error: " ^ e
+
+let test_binop_engines_agree =
+  QCheck.Test.make ~name:"tree-walk and compiled binop semantics agree bit-for-bit"
+    ~count:150 expr_case
+    (fun (e, payload) ->
+      let sp = expr_spec e in
+      let t = eval_tree sp payload in
+      let c = eval_compiled sp payload in
+      if t = c then true
+      else
+        QCheck.Test.fail_reportf "tree-walk %s\nvs compiled %s" (outcome_str t)
+          (outcome_str c))
+
+let test_binop_error_cases () =
+  let module Interp = Agp_core.Interp in
+  Alcotest.check_raises "division by zero" (Invalid_argument "Interp: division by zero")
+    (fun () -> ignore (Interp.eval_binop Spec.Div (Value.Int 1) (Value.Int 0)));
+  Alcotest.check_raises "modulo by zero" (Invalid_argument "Interp: modulo by zero")
+    (fun () -> ignore (Interp.eval_binop Spec.Rem (Value.Int 1) (Value.Int 0)));
+  Alcotest.check_raises "bool arithmetic operand"
+    (Invalid_argument "Interp: bad operands for arithmetic") (fun () ->
+      ignore (Interp.eval_binop Spec.Add (Value.Bool true) (Value.Int 1)));
+  Alcotest.check_raises "bool comparison operand"
+    (Invalid_argument "Interp: bad operands for comparison") (fun () ->
+      ignore (Interp.eval_binop Spec.Lt (Value.Bool true) (Value.Int 1)));
+  Alcotest.check_raises "non-bool connective operand"
+    (Invalid_argument "Value.to_bool: 1") (fun () ->
+      ignore (Interp.eval_binop Spec.And (Value.Int 1) (Value.Bool true)));
+  (* the compiled engine must surface the very same messages end-to-end *)
+  List.iter
+    (fun e ->
+      let sp = expr_spec e in
+      let payload = [ Value.Int 0; Value.Int 0; Value.Int 0; Value.Int 0 ] in
+      let t = eval_tree sp payload and c = eval_compiled sp payload in
+      check Alcotest.bool (Printf.sprintf "engines agree on %s" (expr_str e)) true
+        (t = c && Result.is_error t))
+    Spec.
+      [
+        Binop (Div, int 1, int 0);
+        Binop (Rem, int 1, int 0);
+        Binop (Add, Const (Value.Bool true), int 1);
+        Binop (And, int 1, Const (Value.Bool true));
+      ]
+
+(* --- the stepper is the substrate (tentpole acceptance): a new
+   software backend is an interpretation record, nothing more.  A
+   throwaway counting interpretation must pass full conformance
+   including bit-identical state --- *)
+
+let test_counting_interpretation () =
+  let app = Workloads.spec_bfs Workloads.Small ~seed:7 in
+  let events = ref 0 in
+  let finished = ref 0 in
+  let hooks =
+    {
+      Semantics.on_event =
+        (fun ~tick:_ ~worker:_ _ ev ->
+          incr events;
+          match ev with
+          | Semantics.Finished _ -> incr finished
+          | _ -> ());
+    }
+  in
+  let counting =
+    Backend.of_interpretation ~name:"counting"
+      ~summary:"test-only counting interpretation (hooks over the pipelined policy)"
+      (Semantics.with_hooks (Semantics.pipelined ~workers:3 ()) hooks)
+  in
+  (match Conformance.check ~state_equiv:true counting app with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.failf "counting interpretation does not conform: %s"
+        (Conformance.failure_to_string f));
+  check Alcotest.bool "hooks observed the run" true (!events > 0);
+  check Alcotest.bool "hooks saw task completions" true (!finished > 0)
+
 (* --- typed liveness exceptions (satellite: no more stringly Failure) --- *)
+
+(* Two rendezvous whose resolution orders point at each other.  Both
+   waiters live in one for-each set so their stamps (and hence indices)
+   are distinct — separate sets would give every first push the same
+   all-zero index, making each waiter "minimal" and firing otherwise.
+   Task 0 broadcasts before awaiting a [Min_uncommitted] rendezvous, so
+   it retires from the uncommitted order and the minimum becomes task 1;
+   task 1 awaits a [Min_waiting] rendezvous but task 0 parks ahead of it
+   in the waiting order.  Neither is ever its scope's minimum, so
+   neither otherwise clause can fire: a genuine rule-resolution cycle. *)
+let deadlock_spec : Spec.t =
+  let rendezvous name scope =
+    {
+      Spec.rule_name = name;
+      n_params = 0;
+      clauses = [];
+      otherwise = false;
+      scope;
+      counted = false;
+    }
+  in
+  let eq_role n = Spec.Binop (Spec.Eq, Spec.Param 0, Spec.int n) in
+  {
+    Spec.spec_name = "rendezvous-cycle";
+    task_sets =
+      [
+        {
+          Spec.ts_name = "t";
+          ts_order = Spec.For_each;
+          arity = 1;
+          body =
+            [
+              Spec.If
+                ( eq_role 0,
+                  [
+                    Spec.Emit ("done", []);
+                    Spec.Alloc ("h", "r_unc", []);
+                    Spec.Await ("v", "h");
+                  ],
+                  [
+                    Spec.If
+                      ( eq_role 1,
+                        [ Spec.Alloc ("h", "r_wait", []); Spec.Await ("v", "h") ],
+                        [] (* fillers: commit immediately *) );
+                  ] );
+            ];
+        };
+      ];
+    rules = [ rendezvous "r_unc" Spec.Min_uncommitted; rendezvous "r_wait" Spec.Min_waiting ];
+  }
+
+let deadlock_initial fillers =
+  [ ("t", [ Value.Int 0 ]); ("t", [ Value.Int 1 ]) ]
+  @ List.init fillers (fun _ -> ("t", [ Value.Int 2 ]))
+
+let test_deadlock_typed =
+  QCheck.Test.make
+    ~name:"rendezvous cycles raise typed Deadlock at any worker count" ~count:12
+    QCheck.(pair (int_range 1 8) (int_range 0 5))
+    (fun (workers, fillers) ->
+      let workers = max 1 workers and fillers = max 0 fillers in
+      match
+        Runtime.run ~initial:(deadlock_initial fillers) ~workers deadlock_spec
+          Spec.no_bindings (State.create ())
+      with
+      | exception Runtime.Deadlock _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "workers %d: expected Deadlock, got %s" workers
+            (Printexc.to_string e)
+      | _ -> QCheck.Test.fail_reportf "workers %d: a rendezvous cycle cannot quiesce" workers)
+
+let test_step_limit_random_budgets =
+  QCheck.Test.make ~name:"tiny step budgets raise typed Step_limit_exceeded" ~count:8
+    QCheck.(int_range 1 5)
+    (fun budget ->
+      let app = Workloads.spec_bfs Workloads.Small ~seed:7 in
+      let r = app.App_instance.fresh () in
+      match
+        Runtime.run ~initial:r.App_instance.initial ~max_steps:budget app.App_instance.spec
+          r.App_instance.bindings r.App_instance.state
+      with
+      | exception Runtime.Step_limit_exceeded n -> n = budget
+      | exception e ->
+          QCheck.Test.fail_reportf "budget %d: expected Step_limit_exceeded, got %s" budget
+            (Printexc.to_string e)
+      | _ -> QCheck.Test.fail_reportf "budget %d cannot complete SPEC-BFS" budget)
+
+let test_exceptions_shared_with_semantics () =
+  (* Runtime re-exports the Semantics constructors: one exception, two
+     names, every existing handler keeps matching. *)
+  check Alcotest.bool "Deadlock rebound" true
+    (Runtime.Deadlock "x" = Semantics.Deadlock "x");
+  check Alcotest.bool "Step_limit_exceeded rebound" true
+    (Runtime.Step_limit_exceeded 7 = Semantics.Step_limit_exceeded 7);
+  match Semantics.run (Semantics.pipelined ~workers:2 ())
+          ~initial:(deadlock_initial 0) deadlock_spec Spec.no_bindings (State.create ())
+  with
+  | exception Runtime.Deadlock _ -> ()
+  | exception e -> Alcotest.failf "expected Deadlock, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "rendezvous cycle cannot quiesce"
 
 let test_step_limit_typed () =
   let app = Workloads.spec_bfs Workloads.Small ~seed:7 in
@@ -307,6 +609,16 @@ let test_cli_run_backend_and_golden_diff () =
       (sh "%s run spec-bfs --scale small --backend runtime:2" cli_exe);
     check Alcotest.int "unknown backend exits 1" 1
       (sh "%s run spec-bfs --scale small --backend nosuch" cli_exe);
+    (* liveness failures map to the dedicated exit code, not a crash *)
+    check Alcotest.int "exhausted step budget exits 3" 3
+      (sh "%s run spec-bfs --scale small --backend runtime --max-steps 1" cli_exe);
+    check Alcotest.int "--max-steps on a budgetless backend exits 1" 1
+      (sh "%s run spec-bfs --scale small --backend sequential --max-steps 1" cli_exe);
+    (* simulator:classic is retired by default; AGP_CLASSIC=1 re-enables it *)
+    check Alcotest.int "retired simulator:classic exits 1" 1
+      (sh "%s run spec-bfs --scale small --backend simulator:classic" cli_exe);
+    check Alcotest.int "AGP_CLASSIC=1 escape hatch exits 0" 0
+      (sh "AGP_CLASSIC=1 %s run spec-bfs --scale small --backend simulator:classic" cli_exe);
     check Alcotest.int "report on non-obs backend exits 1" 1
       (sh "%s run spec-bfs --scale small --backend sequential --report %s" cli_exe tmp);
     check Alcotest.int "unsupported app/backend pair exits 1" 1
@@ -326,6 +638,17 @@ let () =
           Alcotest.test_case "compiled engine == legacy engine (cycles, state, events)" `Quick
             test_engine_equivalence;
           qtest test_engine_equivalence_random;
+        ] );
+      ( "semantics",
+        [
+          qtest test_binop_engines_agree;
+          Alcotest.test_case "shared binop error messages" `Quick test_binop_error_cases;
+          Alcotest.test_case "a substrate is an interpretation record" `Quick
+            test_counting_interpretation;
+          qtest test_deadlock_typed;
+          qtest test_step_limit_random_budgets;
+          Alcotest.test_case "Runtime exceptions are the Semantics exceptions" `Quick
+            test_exceptions_shared_with_semantics;
         ] );
       ( "registry",
         [
